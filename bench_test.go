@@ -1,0 +1,229 @@
+// Benchmarks regenerating the paper's evaluation (§8). There is one
+// benchmark per figure; each sub-benchmark is one (configuration, node
+// count) cell and reports the figure's metric:
+//
+//   - Figures 12-14 (initialization time): init_s
+//   - Figures 15-17 (weak scaling): units/s/node (points, wires, zones)
+//
+// The simulated node counts default to 1..32 so the full `go test
+// -bench=. ./...` suite fits comfortably inside Go's default test timeout;
+// set VIS_BENCH_MAX_NODES=512 to regenerate the paper's full range
+// (cmd/visbench sweeps the full range by default and prints the assembled
+// figures).
+//
+// Additional benchmarks measure the real (wall-clock) cost of the
+// analyzers themselves and ablate the optimizations called out in §5.1 and
+// §6.1.
+package visibility_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"visibility/internal/algo"
+	"visibility/internal/apps"
+	"visibility/internal/apps/circuit"
+	"visibility/internal/apps/pennant"
+	"visibility/internal/apps/stencil"
+	"visibility/internal/core"
+	"visibility/internal/harness"
+	"visibility/internal/paint"
+	"visibility/internal/testutil"
+	"visibility/internal/warnock"
+)
+
+func benchNodeCounts() []int {
+	max := 32
+	if s := os.Getenv("VIS_BENCH_MAX_NODES"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			max = v
+		}
+	}
+	return harness.NodeSweep(max)
+}
+
+func benchFigure(b *testing.B, app apps.Builder, appName, metric string) {
+	for _, cfg := range harness.PaperConfigs() {
+		for _, nodes := range benchNodeCounts() {
+			name := fmt.Sprintf("%s/nodes=%d", harness.SystemName(cfg.Algorithm, cfg.DCR), nodes)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := harness.Run(harness.Config{
+						App: app, AppName: appName,
+						Algorithm: cfg.Algorithm, DCR: cfg.DCR,
+						Nodes: nodes, MeasureIters: 2,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if metric == "init" {
+						b.ReportMetric(r.InitTime, "init_s")
+					} else {
+						b.ReportMetric(r.ThroughputPerNode, r.UnitName+"/s/node")
+					}
+				}
+			})
+		}
+	}
+}
+
+// Figures 12-14: initialization time.
+
+func BenchmarkFig12StencilInit(b *testing.B) { benchFigure(b, stencil.New, "stencil", "init") }
+func BenchmarkFig13CircuitInit(b *testing.B) { benchFigure(b, circuit.New, "circuit", "init") }
+func BenchmarkFig14PennantInit(b *testing.B) { benchFigure(b, pennant.New, "pennant", "init") }
+
+// Figures 15-17: weak-scaling throughput per node.
+
+func BenchmarkFig15StencilWeak(b *testing.B) { benchFigure(b, stencil.New, "stencil", "weak") }
+func BenchmarkFig16CircuitWeak(b *testing.B) { benchFigure(b, circuit.New, "circuit", "weak") }
+func BenchmarkFig17PennantWeak(b *testing.B) { benchFigure(b, pennant.New, "pennant", "weak") }
+
+// BenchmarkAnalyzePerLaunch measures the real Go-side cost of one launch's
+// analysis for each algorithm on the circuit workload at 16 nodes — the
+// constant factors behind the simulated op counts.
+func BenchmarkAnalyzePerLaunch(b *testing.B) {
+	for _, name := range algo.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			newAn, err := algo.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst := circuit.New(16)
+			an := newAn(inst.Tree, core.Options{})
+			stream := core.NewStream(inst.Tree)
+			// Warm up: initialization iteration.
+			launches := inst.Emit(stream, 0)
+			for _, l := range launches {
+				an.Analyze(l.Task)
+			}
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				if n == 0 {
+					b.StopTimer()
+					launches = inst.Emit(stream, i+1)
+					n = len(launches)
+					b.StartTimer()
+				}
+				n--
+				an.Analyze(launches[len(launches)-1-n].Task)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWarnockMemo quantifies §6.1's memoization: steady-state
+// analysis cost with and without restarting lookups at memoized nodes.
+func BenchmarkAblationWarnockMemo(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "memo=on"
+		if disable {
+			name = "memo=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			tree, p, g := testutil.GraphTree()
+			w := warnock.New(tree, core.Options{})
+			w.DisableMemo = disable
+			s := core.NewStream(tree)
+			for i := 0; i < 3; i++ { // warm up: build the refinement
+				testutil.LaunchT1(s, p, g, i)
+				testutil.LaunchT2(s, p, g, i)
+			}
+			for _, t := range s.Tasks {
+				w.Analyze(t)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Analyze(testutil.LaunchT1(s, p, g, i%3))
+			}
+			b.ReportMetric(float64(w.Stats().BVHVisited)/float64(b.N), "bvh-visits/launch")
+		})
+	}
+}
+
+// BenchmarkAblationPainterPruning quantifies §5.1's occlusion pruning: the
+// painter's per-launch scan cost with and without deleting occluded
+// history items. Without pruning the history grows with the stream, so the
+// gap widens as b.N grows.
+func BenchmarkAblationPainterPruning(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "pruning=on"
+		if disable {
+			name = "pruning=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			tree, p, g := testutil.GraphTree()
+			pa := paint.NewPainter(tree, core.Options{})
+			pa.DisablePruning = disable
+			s := core.NewStream(tree)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pa.Analyze(testutil.LaunchT1(s, p, g, i%3))
+				pa.Analyze(testutil.LaunchT2(s, p, g, i%3))
+			}
+			b.ReportMetric(float64(pa.Stats().EntriesScanned)/float64(b.N), "entries/launch")
+		})
+	}
+}
+
+// BenchmarkEndToEndExecution measures the full public-API stack (analysis
+// plus parallel value execution) on the Figure 1 loop.
+func BenchmarkEndToEndExecution(b *testing.B) {
+	for _, alg := range []string{"raycast", "warnock", "paint"} {
+		alg := alg
+		b.Run(alg, func(b *testing.B) { rtBench(b, alg) })
+	}
+}
+
+func rtBench(b *testing.B, alg string) {
+	tree, p, g := testutil.GraphTree()
+	newAn, _ := algo.Lookup(alg)
+	an := newAn(tree, core.Options{})
+	eng := core.NewEngine(tree, an, testutil.FullInit(tree))
+	s := core.NewStream(tree)
+	k := core.HashKernel{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Launch(testutil.LaunchT1(s, p, g, i%3), k)
+		eng.Launch(testutil.LaunchT2(s, p, g, i%3), k)
+	}
+}
+
+// BenchmarkDependenceAnalysisScaling measures how per-launch analysis cost
+// scales with machine size for each algorithm (circuit steady state) — the
+// Go-measured counterpart of the weak-scaling simulation.
+func BenchmarkDependenceAnalysisScaling(b *testing.B) {
+	for _, nodes := range []int{4, 16, 64} {
+		for _, name := range []string{"paint", "warnock", "raycast"} {
+			name, nodes := name, nodes
+			b.Run(fmt.Sprintf("%s/nodes=%d", name, nodes), func(b *testing.B) {
+				newAn, _ := algo.Lookup(name)
+				inst := circuit.New(nodes)
+				an := newAn(inst.Tree, core.Options{})
+				stream := core.NewStream(inst.Tree)
+				for _, l := range inst.Emit(stream, 0) {
+					an.Analyze(l.Task)
+				}
+				iter := 1
+				launches := inst.Emit(stream, iter)
+				li := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if li == len(launches) {
+						b.StopTimer()
+						iter++
+						launches = inst.Emit(stream, iter)
+						li = 0
+						b.StartTimer()
+					}
+					an.Analyze(launches[li].Task)
+					li++
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package visibility
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"visibility/internal/field"
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+)
+
+// Checkpoint format: every region tree with its structure (spaces, fields,
+// partitions in creation order) and the current coherent contents of every
+// field, read through the coherence algorithm itself.
+
+type ckptFile struct {
+	Version int          `json:"version"`
+	Regions []ckptRegion `json:"regions"`
+}
+
+type ckptRegion struct {
+	Name       string          `json:"name"`
+	Dim        int             `json:"dim"`
+	Space      [][]int64       `json:"space"`
+	Fields     []string        `json:"fields"`
+	Partitions []ckptPartition `json:"partitions"`
+	// Values maps field name to flat (dim coords..., value) tuples for
+	// every point of the region.
+	Values map[string][][]float64 `json:"values"`
+}
+
+type ckptPartition struct {
+	Parent int         `json:"parent"` // region ID within the tree
+	Name   string      `json:"name"`
+	Pieces [][][]int64 `json:"pieces"`
+}
+
+func encodeSpace(s IndexSpace) [][]int64 {
+	out := make([][]int64, 0, s.NumRects())
+	for _, r := range s.Rects() {
+		row := make([]int64, 0, 2*s.Dim())
+		for a := 0; a < s.Dim(); a++ {
+			row = append(row, r.Lo.C[a], r.Hi.C[a])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func decodeSpace(dim int, rows [][]int64) (IndexSpace, error) {
+	rects := make([]geometry.Rect, 0, len(rows))
+	for _, row := range rows {
+		if len(row) != 2*dim {
+			return index.Empty(dim), fmt.Errorf("visibility: malformed rect %v for dim %d", row, dim)
+		}
+		r := geometry.Rect{Dim: dim}
+		for a := 0; a < dim; a++ {
+			r.Lo.C[a] = row[2*a]
+			r.Hi.C[a] = row[2*a+1]
+		}
+		rects = append(rects, r)
+	}
+	return index.FromRects(dim, rects...), nil
+}
+
+// Checkpoint waits for all launched work, reads every field's current
+// contents through the coherence algorithm, and writes a JSON snapshot of
+// every region tree — structure and data — to w. The runtime remains
+// usable afterwards (the reads participate in dependence analysis like
+// any other task).
+func (rt *Runtime) Checkpoint(w io.Writer) error {
+	rt.Wait()
+	file := ckptFile{Version: 1}
+	for _, r := range rt.regions {
+		ts := r.tree
+		dim := ts.tree.Root.Space.Dim()
+		cr := ckptRegion{
+			Name:   ts.tree.Root.Name,
+			Dim:    dim,
+			Space:  encodeSpace(ts.tree.Root.Space),
+			Values: make(map[string][][]float64),
+		}
+		for i := 0; i < ts.tree.Fields.Len(); i++ {
+			cr.Fields = append(cr.Fields, ts.tree.Fields.Name(field.ID(i)))
+		}
+		for i := 0; i < ts.tree.NumPartitions(); i++ {
+			p := ts.tree.PartitionAt(i)
+			cp := ckptPartition{Parent: p.Parent.ID, Name: p.Name}
+			for _, sub := range p.Subregions {
+				cp.Pieces = append(cp.Pieces, encodeSpace(sub.Space))
+			}
+			cr.Partitions = append(cr.Partitions, cp)
+		}
+		for _, fname := range cr.Fields {
+			var snap *Snapshot
+			if ts.frozen {
+				snap = rt.Read(r, fname)
+			} else {
+				// Nothing launched: the initial contents are current.
+				snap = &Snapshot{st: ts.init[ts.fields[fname]]}
+			}
+			var rows [][]float64
+			snap.Each(func(p Point, v float64) {
+				row := make([]float64, 0, dim+1)
+				for a := 0; a < dim; a++ {
+					row = append(row, float64(p.C[a]))
+				}
+				rows = append(rows, append(row, v))
+			})
+			cr.Values[fname] = rows
+		}
+		file.Regions = append(file.Regions, cr)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&file)
+}
+
+// Restore builds a fresh runtime from a checkpoint: regions, fields,
+// partitions (in creation order, so derived subregion identities line up),
+// and initial contents equal to the snapshot. It returns the root regions
+// by name.
+func Restore(rd io.Reader, cfg Config) (*Runtime, map[string]*Region, error) {
+	var file ckptFile
+	if err := json.NewDecoder(rd).Decode(&file); err != nil {
+		return nil, nil, fmt.Errorf("visibility: decoding checkpoint: %w", err)
+	}
+	if file.Version != 1 {
+		return nil, nil, fmt.Errorf("visibility: unsupported checkpoint version %d", file.Version)
+	}
+	rt := New(cfg)
+	roots := make(map[string]*Region, len(file.Regions))
+	for _, cr := range file.Regions {
+		space, err := decodeSpace(cr.Dim, cr.Space)
+		if err != nil {
+			return nil, nil, err
+		}
+		root := rt.CreateRegion(cr.Name, space, cr.Fields...)
+		roots[cr.Name] = root
+
+		// Partitions recreate in the original creation order; region IDs
+		// are then assigned identically, so parent references resolve.
+		for _, cp := range cr.Partitions {
+			pieces := make([]IndexSpace, 0, len(cp.Pieces))
+			for _, enc := range cp.Pieces {
+				sp, err := decodeSpace(cr.Dim, enc)
+				if err != nil {
+					return nil, nil, err
+				}
+				pieces = append(pieces, sp)
+			}
+			parent := &Region{rt: rt, tree: root.tree, reg: root.tree.tree.Region(cp.Parent)}
+			parent.Partition(cp.Name, pieces)
+		}
+
+		for fname, rows := range cr.Values {
+			id, ok := root.tree.fields[fname]
+			if !ok {
+				return nil, nil, fmt.Errorf("visibility: checkpoint values for unknown field %q", fname)
+			}
+			st := root.tree.init[id]
+			for _, row := range rows {
+				if len(row) != cr.Dim+1 {
+					return nil, nil, fmt.Errorf("visibility: malformed value row %v", row)
+				}
+				var p Point
+				for a := 0; a < cr.Dim; a++ {
+					p.C[a] = int64(row[a])
+				}
+				st.Set(p, row[cr.Dim])
+			}
+		}
+	}
+	return rt, roots, nil
+}
+
+// Partitions returns the partitions of this region, in creation order.
+func (r *Region) Partitions() []*Partition {
+	out := make([]*Partition, 0, len(r.reg.Partitions))
+	for _, p := range r.reg.Partitions {
+		out = append(out, &Partition{r: r, p: p})
+	}
+	return out
+}
+
+// PartitionName returns the partition's name.
+func (p *Partition) PartitionName() string { return p.p.Name }

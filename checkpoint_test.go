@@ -1,0 +1,120 @@
+package visibility_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"visibility"
+)
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	rt := visibility.New(visibility.Config{Validate: true})
+	defer rt.Close()
+	cells := rt.CreateRegion("cells", visibility.Line(0, 31), "a", "b")
+	cells.Init("b", func(p visibility.Point) float64 { return -float64(p.C[0]) })
+	blocks := cells.PartitionEqual("blocks", 4)
+	windows := cells.Partition("windows", []visibility.IndexSpace{
+		visibility.Line(4, 19), visibility.Line(12, 27),
+	})
+
+	for i := 0; i < 4; i++ {
+		rt.Launch(visibility.TaskSpec{
+			Name:     "w",
+			Accesses: []visibility.Access{visibility.Write(blocks.Sub(i), "a")},
+			Kernel: visibility.Kernel{Write: func(_ int, p visibility.Point, _ float64) float64 {
+				return float64(p.C[0] * p.C[0])
+			}},
+		})
+	}
+	rt.Launch(visibility.TaskSpec{
+		Name:     "bump",
+		Accesses: []visibility.Access{visibility.Reduce(visibility.OpSum, windows.Sub(0), "a")},
+		Kernel:   visibility.Kernel{Reduce: func(_ int, _ visibility.Point) float64 { return 1000 }},
+	})
+
+	var buf bytes.Buffer
+	if err := rt.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, roots, err := visibility.Restore(strings.NewReader(buf.String()), visibility.Config{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	cells2, ok := roots["cells"]
+	if !ok {
+		t.Fatal("restored runtime missing region")
+	}
+
+	// Structure survived: same partitions, same pieces.
+	parts := cells2.Partitions()
+	if len(parts) != 2 || parts[0].PartitionName() != "blocks" || parts[1].PartitionName() != "windows" {
+		t.Fatalf("restored partitions = %v", parts)
+	}
+	if !parts[0].Disjoint() || !parts[0].Complete() {
+		t.Error("restored blocks partition lost properties")
+	}
+	if parts[1].Disjoint() {
+		t.Error("restored windows partition should be aliased")
+	}
+	if !parts[1].Sub(1).Space().Equal(visibility.Line(12, 27)) {
+		t.Errorf("restored piece = %v", parts[1].Sub(1).Space())
+	}
+
+	// Data survived: values equal the pre-checkpoint coherent contents.
+	snap := rt2.Read(cells2, "a")
+	for x := int64(0); x < 32; x++ {
+		want := float64(x * x)
+		if x >= 4 && x <= 19 {
+			want += 1000
+		}
+		if v, _ := snap.Get(visibility.Pt(x)); v != want {
+			t.Fatalf("restored a[%d] = %v, want %v", x, v, want)
+		}
+	}
+	snapB := rt2.Read(cells2, "b")
+	if v, _ := snapB.Get(visibility.Pt(7)); v != -7 {
+		t.Errorf("restored b[7] = %v, want -7", v)
+	}
+
+	// The restored runtime keeps working: launch against restored pieces.
+	rt2.Launch(visibility.TaskSpec{
+		Name:     "w2",
+		Accesses: []visibility.Access{visibility.Write(parts[0].Sub(0), "a")},
+		Kernel:   visibility.Kernel{Write: func(_ int, _ visibility.Point, in float64) float64 { return in + 1 }},
+	})
+	snap = rt2.Read(cells2, "a")
+	if v, _ := snap.Get(visibility.Pt(0)); v != 1 {
+		t.Errorf("post-restore launch: a[0] = %v, want 1", v)
+	}
+}
+
+func TestCheckpointBeforeAnyLaunch(t *testing.T) {
+	rt := visibility.New(visibility.Config{})
+	defer rt.Close()
+	r := rt.CreateRegion("r", visibility.Line(0, 3), "v")
+	r.Fill("v", 9)
+	var buf bytes.Buffer
+	if err := rt.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt2, roots, err := visibility.Restore(&buf, visibility.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	if v, _ := rt2.Read(roots["r"], "v").Get(visibility.Pt(2)); v != 9 {
+		t.Errorf("restored value = %v, want 9", v)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, _, err := visibility.Restore(strings.NewReader("not json"), visibility.Config{}); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, _, err := visibility.Restore(strings.NewReader(`{"version":99}`), visibility.Config{}); err == nil {
+		t.Error("expected version error")
+	}
+}

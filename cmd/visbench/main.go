@@ -1,0 +1,103 @@
+// Command visbench regenerates the paper's evaluation (§8): for each
+// benchmark application it sweeps machine sizes and the five
+// algorithm/DCR configurations, printing initialization time
+// (Figures 12-14) and weak-scaling throughput per node (Figures 15-17),
+// or the raw TSV rows of the artifact's parse_results.py.
+//
+// Usage:
+//
+//	visbench [-app stencil|circuit|pennant|all] [-metric init|weak|all]
+//	         [-max-nodes 512] [-iters 3] [-format figure|tsv] [-reps 1]
+//	         [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"visibility/internal/apps"
+	"visibility/internal/apps/circuit"
+	"visibility/internal/apps/pennant"
+	"visibility/internal/apps/stencil"
+	"visibility/internal/harness"
+)
+
+var figureOf = map[string]map[string]string{
+	"stencil":         {"init": "Figure 12", "weak": "Figure 15"},
+	"circuit":         {"init": "Figure 13", "weak": "Figure 16"},
+	"pennant":         {"init": "Figure 14", "weak": "Figure 17"},
+	"pennant-futures": {"init": "Figure 14 (futures dt)", "weak": "Figure 17 (futures dt)"},
+}
+
+func main() {
+	appFlag := flag.String("app", "all", "application: stencil, circuit, pennant, or all")
+	metric := flag.String("metric", "all", "metric: init (Figs 12-14), weak (Figs 15-17), or all")
+	maxNodes := flag.Int("max-nodes", 512, "largest simulated node count (sweeps powers of two)")
+	iters := flag.Int("iters", 3, "steady-state iterations to time")
+	format := flag.String("format", "figure", "output format: figure, chart, or tsv")
+	reps := flag.Int("reps", 1, "repetition rows in tsv output")
+	stats := flag.Bool("stats", false, "print analyzer operation counts per cell")
+	tracing := flag.Bool("tracing", false, "enable dynamic tracing (the paper disables it; see §8)")
+	flag.Parse()
+
+	builders := map[string]apps.Builder{
+		"stencil":         stencil.New,
+		"circuit":         circuit.New,
+		"pennant":         pennant.New,
+		"pennant-futures": pennant.NewFutures,
+	}
+	var names []string
+	if *appFlag == "all" {
+		names = []string{"stencil", "circuit", "pennant"}
+	} else if _, ok := builders[*appFlag]; ok {
+		names = []string{*appFlag}
+	} else {
+		fmt.Fprintf(os.Stderr, "visbench: unknown app %q\n", *appFlag)
+		os.Exit(2)
+	}
+
+	for _, name := range names {
+		results, err := harness.SweepTraced(builders[name], name, *maxNodes, *iters, *tracing)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "tsv":
+			fmt.Printf("## %s\n", name)
+			if err := harness.WriteTSV(os.Stdout, results, *reps); err != nil {
+				fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			for _, m := range []string{"init", "weak"} {
+				if *metric != "all" && *metric != m {
+					continue
+				}
+				fmt.Printf("\n== %s: %s ==\n", figureOf[name][m], name)
+				var err error
+				if *format == "chart" {
+					err = harness.WriteChart(os.Stdout, results, m)
+				} else {
+					err = harness.WriteFigure(os.Stdout, results, m)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *stats {
+			fmt.Printf("\n-- %s analyzer operation counts --\n", name)
+			fmt.Printf("%-16s %6s %12s %12s %10s %10s %10s %10s %8s %8s\n",
+				"system", "nodes", "entriesScan", "overlapTest", "views", "setsMade", "coalesced", "bvh", "gpu%", "util%")
+			for _, r := range results {
+				fmt.Printf("%-16s %6d %12d %12d %10d %10d %10d %10d %8.1f %8.1f\n",
+					r.System, r.Nodes, r.Stats.EntriesScanned, r.Stats.OverlapTests,
+					r.Stats.ViewsCreated, r.Stats.SetsCreated, r.Stats.SetsCoalesced, r.Stats.BVHVisited,
+					100*r.ExecUtilization, 100*r.UtilUtilization)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: a minimal implicitly-parallel program against the public
+// API. Four tasks initialize disjoint blocks of a 1-D region in parallel,
+// a fifth task sums contributions into an overlapping window with a
+// reduction, and a final read observes coherent values — the runtime
+// discovers all dependences automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"visibility"
+)
+
+func main() {
+	rt := visibility.New(visibility.Config{Algorithm: "raycast", Validate: true})
+	defer rt.Close()
+
+	// A region of 100 elements with one field, partitioned into 4 blocks.
+	cells := rt.CreateRegion("cells", visibility.Line(0, 99), "val")
+	blocks := cells.PartitionEqual("blocks", 4)
+
+	// Phase 1: initialize each block in parallel (disjoint writes: the
+	// analysis finds no dependences between these four launches).
+	for i := 0; i < blocks.Len(); i++ {
+		rt.Launch(visibility.TaskSpec{
+			Name:     fmt.Sprintf("init[%d]", i),
+			Accesses: []visibility.Access{visibility.Write(blocks.Sub(i), "val")},
+			Kernel: visibility.Kernel{
+				Write: func(_ int, p visibility.Point, _ float64) float64 {
+					return float64(p.C[0])
+				},
+			},
+		})
+	}
+
+	// Phase 2: an aliased window spanning blocks 1-2 receives a +10
+	// reduction. It depends on init[1] and init[2], but not 0 or 3.
+	window := cells.Partition("window", []visibility.IndexSpace{
+		visibility.Line(30, 69),
+	})
+	rt.Launch(visibility.TaskSpec{
+		Name:     "bump",
+		Accesses: []visibility.Access{visibility.Reduce(visibility.OpSum, window.Sub(0), "val")},
+		Kernel: visibility.Kernel{
+			Reduce: func(_ int, _ visibility.Point) float64 { return 10 },
+		},
+	})
+
+	// Phase 3: read everything back coherently.
+	snap := rt.Read(cells, "val")
+	var sum float64
+	snap.Each(func(_ visibility.Point, v float64) { sum += v })
+
+	want := float64(99*100/2 + 40*10)
+	if sum != want {
+		log.Fatalf("sum = %v, want %v", sum, want)
+	}
+	v35, _ := snap.Get(visibility.Pt(35))
+	v5, _ := snap.Get(visibility.Pt(5))
+	fmt.Printf("cells[5] = %v (initialized)\n", v5)
+	fmt.Printf("cells[35] = %v (initialized + reduction)\n", v35)
+	fmt.Printf("sum = %v ✓\n", sum)
+	fmt.Printf("analysis: %s, %d launches analyzed\n", "raycast", rt.Stats(cells).Launches)
+}

@@ -1,0 +1,3 @@
+module visibility
+
+go 1.22

@@ -1,0 +1,242 @@
+// Package bvh provides spatial acceleration structures: a static bounding
+// volume hierarchy over rectangles (used by ray casting to locate the
+// disjoint-complete partition pieces a region overlaps, §7.1) and a
+// dynamic K-d-tree container for items with bounding boxes (the fallback
+// when no disjoint-complete partition exists).
+package bvh
+
+import (
+	"sort"
+
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+)
+
+// Input is one item to index: a bounding box and a caller-defined ID.
+type Input struct {
+	Box geometry.Rect
+	ID  int
+}
+
+// Tree is a static BVH built by median splits over box centers.
+type Tree struct {
+	nodes []node
+}
+
+type node struct {
+	box         geometry.Rect
+	left, right int // child indices; -1 for leaves
+	id          int // item ID at leaves
+}
+
+// Build constructs a BVH over items. Empty boxes are permitted but never
+// matched by queries. Build copies the input slice.
+func Build(items []Input) *Tree {
+	t := &Tree{}
+	if len(items) == 0 {
+		return t
+	}
+	work := make([]Input, len(items))
+	copy(work, items)
+	t.build(work)
+	return t
+}
+
+func (t *Tree) build(items []Input) int {
+	if len(items) == 1 {
+		t.nodes = append(t.nodes, node{box: items[0].Box, left: -1, right: -1, id: items[0].ID})
+		return len(t.nodes) - 1
+	}
+	box := items[0].Box
+	for _, it := range items[1:] {
+		box = box.Union(it.Box)
+	}
+	// Split on the longest axis by center.
+	axis, span := 0, int64(-1)
+	for a := 0; a < box.Dim; a++ {
+		if s := box.Hi.C[a] - box.Lo.C[a]; s > span {
+			span, axis = s, a
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		ci := items[i].Box.Lo.C[axis] + items[i].Box.Hi.C[axis]
+		cj := items[j].Box.Lo.C[axis] + items[j].Box.Hi.C[axis]
+		if ci != cj {
+			return ci < cj
+		}
+		return items[i].ID < items[j].ID
+	})
+	mid := len(items) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{box: box})
+	l := t.build(items[:mid])
+	r := t.build(items[mid:])
+	t.nodes[idx].left = l
+	t.nodes[idx].right = r
+	t.nodes[idx].id = -1
+	return idx
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int {
+	n := 0
+	for _, nd := range t.nodes {
+		if nd.left == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Query calls visit for every item whose box overlaps box and returns the
+// number of tree nodes visited (the traversal cost).
+func (t *Tree) Query(box geometry.Rect, visit func(id int)) int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.query(0, box, visit)
+}
+
+func (t *Tree) query(i int, box geometry.Rect, visit func(id int)) int {
+	nd := &t.nodes[i]
+	if !nd.box.Overlaps(box) {
+		return 1
+	}
+	if nd.left == -1 {
+		visit(nd.id)
+		return 1
+	}
+	return 1 + t.query(nd.left, box, visit) + t.query(nd.right, box, visit)
+}
+
+// QuerySpace calls visit for every item whose box overlaps any rectangle of
+// sp, at most once per item, and returns nodes visited.
+func (t *Tree) QuerySpace(sp index.Space, visit func(id int)) int {
+	seen := make(map[int]bool)
+	cost := 0
+	for _, r := range sp.Rects() {
+		cost += t.Query(r, func(id int) {
+			if !seen[id] {
+				seen[id] = true
+				visit(id)
+			}
+		})
+	}
+	return cost
+}
+
+// KD is a dynamic container over a fixed spatial decomposition: the root
+// bounds are recursively split into cells, and items are registered in
+// every cell their bounding box overlaps. Queries visit only cells
+// overlapping the query box. Used by ray casting when no disjoint-complete
+// partition is available to define buckets (§7.1).
+type KD struct {
+	cells     []geometry.Rect
+	items     map[int][]int // cell → item IDs
+	placement map[int][]int // item ID → cells
+	boxes     map[int]geometry.Rect
+}
+
+// NewKD builds a K-d decomposition of bounds with approximately targetCells
+// leaf cells.
+func NewKD(bounds geometry.Rect, targetCells int) *KD {
+	kd := &KD{
+		items:     make(map[int][]int),
+		placement: make(map[int][]int),
+		boxes:     make(map[int]geometry.Rect),
+	}
+	var split func(r geometry.Rect, want int)
+	split = func(r geometry.Rect, want int) {
+		if want <= 1 || r.Volume() <= 1 {
+			kd.cells = append(kd.cells, r)
+			return
+		}
+		// Split the longest axis at the midpoint.
+		axis, span := 0, int64(-1)
+		for a := 0; a < r.Dim; a++ {
+			if s := r.Hi.C[a] - r.Lo.C[a]; s > span {
+				span, axis = s, a
+			}
+		}
+		if span == 0 {
+			kd.cells = append(kd.cells, r)
+			return
+		}
+		mid := (r.Lo.C[axis] + r.Hi.C[axis]) / 2
+		lo, hi := r, r
+		lo.Hi.C[axis] = mid
+		hi.Lo.C[axis] = mid + 1
+		split(lo, want/2)
+		split(hi, want-want/2)
+	}
+	split(bounds, targetCells)
+	return kd
+}
+
+// NumCells returns the number of leaf cells.
+func (kd *KD) NumCells() int { return len(kd.cells) }
+
+// Insert registers item id with bounding box box.
+func (kd *KD) Insert(id int, box geometry.Rect) {
+	kd.boxes[id] = box
+	for ci, cell := range kd.cells {
+		if cell.Overlaps(box) {
+			kd.items[ci] = append(kd.items[ci], id)
+			kd.placement[id] = append(kd.placement[id], ci)
+		}
+	}
+}
+
+// Remove deregisters item id. Removing an unknown id is a no-op.
+func (kd *KD) Remove(id int) {
+	for _, ci := range kd.placement[id] {
+		list := kd.items[ci]
+		for i, x := range list {
+			if x == id {
+				list[i] = list[len(list)-1]
+				kd.items[ci] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+	delete(kd.placement, id)
+	delete(kd.boxes, id)
+}
+
+// Query calls visit once for each item whose registered box overlaps box,
+// and returns the number of cells examined.
+func (kd *KD) Query(box geometry.Rect, visit func(id int)) int {
+	seen := make(map[int]bool)
+	cost := 0
+	for ci, cell := range kd.cells {
+		if !cell.Overlaps(box) {
+			continue
+		}
+		cost++
+		for _, id := range kd.items[ci] {
+			if seen[id] {
+				continue
+			}
+			if kd.boxes[id].Overlaps(box) {
+				seen[id] = true
+				visit(id)
+			}
+		}
+	}
+	return cost
+}
+
+// QuerySpace calls visit once per item overlapping any rectangle of sp.
+func (kd *KD) QuerySpace(sp index.Space, visit func(id int)) int {
+	seen := make(map[int]bool)
+	cost := 0
+	for _, r := range sp.Rects() {
+		cost += kd.Query(r, func(id int) {
+			if !seen[id] {
+				seen[id] = true
+				visit(id)
+			}
+		})
+	}
+	return cost
+}

@@ -1,0 +1,253 @@
+// Package cluster simulates a distributed-memory machine in virtual time,
+// substituting for the Piz Daint system of the paper's evaluation (§8).
+//
+// The simulation is a deterministic virtual-time scheduler rather than a
+// cycle-accurate model: each node serializes the work submitted to it in
+// submission order (a work queue), messages between nodes cost latency plus
+// size over bandwidth, and arbitrary dependence edges order work items
+// across nodes. The coherence analyses run for real — their actual data
+// structure operation counts and state-ownership touches are converted into
+// work items and messages by the dist package — so sequential bottlenecks
+// and data-structure blowups appear in the virtual makespan exactly where
+// the real algorithms produce them.
+package cluster
+
+import "fmt"
+
+// Time is virtual seconds.
+type Time = float64
+
+// Ref identifies a scheduled operation; its completion can gate later
+// operations.
+type Ref int
+
+// NoRef is the absent operation reference.
+const NoRef Ref = -1
+
+// Config describes the simulated machine.
+type Config struct {
+	Nodes int
+	// MessageLatency is the one-way wire latency per message in seconds.
+	MessageLatency Time
+	// Bandwidth is bytes per second on each link.
+	Bandwidth float64
+	// SendOverhead is CPU time a node spends to emit one message.
+	SendOverhead Time
+	// ReceiveOverhead is CPU time a node spends to absorb one message.
+	ReceiveOverhead Time
+}
+
+// DefaultConfig returns a machine resembling a GPU-node supercomputer
+// interconnect of the paper's era (microsecond-scale latency, tens of
+// GB/s links).
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		MessageLatency:  2e-6,
+		Bandwidth:       1e10,
+		SendOverhead:    4e-7,
+		ReceiveOverhead: 4e-7,
+	}
+}
+
+// proc is one simulated processor: a capacity-1 resource scheduling work
+// into the earliest gap after each item's dependences are ready
+// (backfilling). This models an out-of-order runtime: ready work is never
+// blocked behind work that is still waiting on remote results, but a
+// saturated processor still serializes everything offered to it.
+type proc struct {
+	intervals []ival // busy intervals: sorted, disjoint, coalesced
+	busy      Time
+}
+
+type ival struct{ start, end Time }
+
+// place reserves dur seconds at the earliest time >= ready with a free gap
+// and returns the start time.
+func (p *proc) place(ready, dur Time) Time {
+	if dur <= 0 {
+		return ready
+	}
+	// First interval that ends after ready: earlier intervals are
+	// irrelevant.
+	lo, hi := 0, len(p.intervals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.intervals[mid].end <= ready {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	t := ready
+	i := lo
+	for ; i < len(p.intervals); i++ {
+		iv := p.intervals[i]
+		if t+dur <= iv.start {
+			break // fits in the gap before interval i
+		}
+		if iv.end > t {
+			t = iv.end
+		}
+	}
+	p.busy += dur
+	// Insert [t, t+dur) at position i, coalescing with neighbors.
+	end := t + dur
+	mergePrev := i > 0 && p.intervals[i-1].end == t
+	mergeNext := i < len(p.intervals) && p.intervals[i].start == end
+	switch {
+	case mergePrev && mergeNext:
+		p.intervals[i-1].end = p.intervals[i].end
+		p.intervals = append(p.intervals[:i], p.intervals[i+1:]...)
+	case mergePrev:
+		p.intervals[i-1].end = end
+	case mergeNext:
+		p.intervals[i].start = t
+	default:
+		p.intervals = append(p.intervals, ival{})
+		copy(p.intervals[i+1:], p.intervals[i:])
+		p.intervals[i] = ival{start: t, end: end}
+	}
+	return t
+}
+
+// Machine is a virtual-time machine. Each node has two independent
+// processors, as Legion nodes do: an execution processor (the GPU) that
+// runs task kernels, and a utility processor that runs the dependence and
+// coherence analyses and processes messages. It is not safe for concurrent
+// use.
+type Machine struct {
+	cfg Config
+
+	exec []proc
+	util []proc
+	done []Time // completion time per op
+
+	messages int64
+	bytes    int64
+}
+
+// New creates a machine.
+func New(cfg Config) *Machine {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	return &Machine{
+		cfg:  cfg,
+		exec: make([]proc, cfg.Nodes),
+		util: make([]proc, cfg.Nodes),
+	}
+}
+
+// Nodes returns the node count.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+func (m *Machine) depsReady(deps []Ref) Time {
+	var t Time
+	for _, d := range deps {
+		if d == NoRef {
+			continue
+		}
+		if dt := m.done[d]; dt > t {
+			t = dt
+		}
+	}
+	return t
+}
+
+func (m *Machine) checkNode(node int) {
+	if node < 0 || node >= m.cfg.Nodes {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", node, m.cfg.Nodes))
+	}
+}
+
+func (m *Machine) schedule(p *proc, dur Time, deps []Ref) Ref {
+	start := p.place(m.depsReady(deps), dur)
+	m.done = append(m.done, start+dur)
+	return Ref(len(m.done) - 1)
+}
+
+// Exec schedules dur seconds of kernel work on node's execution processor,
+// starting at the earliest free slot after all deps are complete.
+func (m *Machine) Exec(node int, dur Time, deps ...Ref) Ref {
+	m.checkNode(node)
+	return m.schedule(&m.exec[node], dur, deps)
+}
+
+// Util schedules dur seconds of runtime (analysis) work on node's utility
+// processor.
+func (m *Machine) Util(node int, dur Time, deps ...Ref) Ref {
+	m.checkNode(node)
+	return m.schedule(&m.util[node], dur, deps)
+}
+
+// Message schedules a message of size bytes from one node to another,
+// available for dependents at delivery time. Send and receive overheads
+// occupy the respective utility processors; the wire time occupies
+// neither. A message to self costs only the overheads.
+func (m *Machine) Message(from, to int, bytes int64, deps ...Ref) Ref {
+	m.checkNode(from)
+	m.checkNode(to)
+	sent := m.Util(from, m.cfg.SendOverhead, deps...)
+	m.messages++
+	m.bytes += bytes
+	wire := Time(0)
+	if from != to {
+		wire = m.cfg.MessageLatency + float64(bytes)/m.cfg.Bandwidth
+	}
+	// Receive processing occupies the destination's utility processor
+	// after the wire delivers.
+	return m.schedule(&m.util[to], m.cfg.ReceiveOverhead, []Ref{m.afterTime(m.done[sent] + wire)})
+}
+
+// afterTime returns a pseudo-op completing at t.
+func (m *Machine) afterTime(t Time) Ref {
+	m.done = append(m.done, t)
+	return Ref(len(m.done) - 1)
+}
+
+// AfterAll returns a zero-cost operation completing when all deps have.
+func (m *Machine) AfterAll(deps ...Ref) Ref {
+	m.done = append(m.done, m.depsReady(deps))
+	return Ref(len(m.done) - 1)
+}
+
+// TimeOf returns the completion time of r.
+func (m *Machine) TimeOf(r Ref) Time {
+	if r == NoRef {
+		return 0
+	}
+	return m.done[r]
+}
+
+// Makespan returns the completion time of the entire schedule so far.
+func (m *Machine) Makespan() Time {
+	var t Time
+	for _, d := range m.done {
+		if d > t {
+			t = d
+		}
+	}
+	return t
+}
+
+// NodeBusy returns the cumulative busy time of node's execution processor.
+func (m *Machine) NodeBusy(node int) Time {
+	m.checkNode(node)
+	return m.exec[node].busy
+}
+
+// UtilBusy returns the cumulative busy time of node's utility processor.
+func (m *Machine) UtilBusy(node int) Time {
+	m.checkNode(node)
+	return m.util[node].busy
+}
+
+// Messages returns the number of messages and total bytes sent.
+func (m *Machine) Messages() (int64, int64) { return m.messages, m.bytes }
+
+// Ops returns the number of scheduled operations.
+func (m *Machine) Ops() int { return len(m.done) }

@@ -1,0 +1,174 @@
+// Package data provides point-indexed value stores for region contents and
+// the blending function B of paper §3.1, which defines ground-truth
+// coherence semantics: the value of an element is the blend of the ordered
+// sequence of operations applied to it, where writes are opaque, reductions
+// are partially transparent, and reads are fully transparent.
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+	"visibility/internal/privilege"
+)
+
+// Store maps points to float64 values. The zero Store is not usable; create
+// with NewStore.
+type Store struct {
+	dim  int
+	vals map[geometry.Point]float64
+}
+
+// NewStore creates an empty store for dim-dimensional points.
+func NewStore(dim int) *Store {
+	return &Store{dim: dim, vals: make(map[geometry.Point]float64)}
+}
+
+// Dim returns the dimensionality of the store's points.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of points with defined values.
+func (s *Store) Len() int { return len(s.vals) }
+
+// Get returns the value at p; ok is false if p is undefined.
+func (s *Store) Get(p geometry.Point) (float64, bool) {
+	v, ok := s.vals[p]
+	return v, ok
+}
+
+// MustGet returns the value at p and panics if p is undefined, which in the
+// coherence engines indicates a materialization hole (a bug, not a user
+// error).
+func (s *Store) MustGet(p geometry.Point) float64 {
+	v, ok := s.vals[p]
+	if !ok {
+		panic(fmt.Sprintf("data: undefined point %v", p))
+	}
+	return v
+}
+
+// Set assigns v to p.
+func (s *Store) Set(p geometry.Point, v float64) { s.vals[p] = v }
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	out := NewStore(s.dim)
+	for p, v := range s.vals {
+		out.vals[p] = v
+	}
+	return out
+}
+
+// Restrict returns a new store holding s's values at the points of sp that
+// are defined in s.
+func (s *Store) Restrict(sp index.Space) *Store {
+	out := NewStore(s.dim)
+	sp.Each(func(p geometry.Point) bool {
+		if v, ok := s.vals[p]; ok {
+			out.vals[p] = v
+		}
+		return true
+	})
+	return out
+}
+
+// Each calls f for every defined point in deterministic (sorted) order.
+func (s *Store) Each(f func(geometry.Point, float64)) {
+	pts := make([]geometry.Point, 0, len(s.vals))
+	for p := range s.vals {
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Less(pts[j], s.dim) })
+	for _, p := range pts {
+		f(p, s.vals[p])
+	}
+}
+
+// Equal reports whether s and o define the same points with the same values.
+func (s *Store) Equal(o *Store) bool {
+	if len(s.vals) != len(o.vals) {
+		return false
+	}
+	for p, v := range s.vals {
+		ov, ok := o.vals[p]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first few differences
+// between s and o, or "" if they are equal. Useful in test failures.
+func (s *Store) Diff(o *Store) string {
+	var b strings.Builder
+	n := 0
+	s.Each(func(p geometry.Point, v float64) {
+		if n >= 5 {
+			return
+		}
+		ov, ok := o.vals[p]
+		if !ok {
+			fmt.Fprintf(&b, "%v: %v vs <undefined>\n", p, v)
+			n++
+		} else if ov != v {
+			fmt.Fprintf(&b, "%v: %v vs %v\n", p, v, ov)
+			n++
+		}
+	})
+	o.Each(func(p geometry.Point, v float64) {
+		if n >= 5 {
+			return
+		}
+		if _, ok := s.vals[p]; !ok {
+			fmt.Fprintf(&b, "%v: <undefined> vs %v\n", p, v)
+			n++
+		}
+	})
+	return b.String()
+}
+
+// Op is one operation on a single element, as in §3.1: a write w_x, a
+// reduction f_x, or a read r.
+type Op struct {
+	Kind  privilege.Kind
+	Rop   privilege.ReduceOp // for Kind == Reduce
+	Value float64            // for writes and reductions
+}
+
+// WriteOp returns a write of x.
+func WriteOp(x float64) Op { return Op{Kind: privilege.ReadWrite, Value: x} }
+
+// ReduceOpOf returns a reduction f_x.
+func ReduceOpOf(op privilege.ReduceOp, x float64) Op {
+	return Op{Kind: privilege.Reduce, Rop: op, Value: x}
+}
+
+// ReadOp returns a read.
+func ReadOp() Op { return Op{Kind: privilege.Read} }
+
+// BlendOne applies one operation to the current value v: b(w_x, v) = x,
+// b(f_x, v) = f(x, v), b(r, v) = v.
+func BlendOne(o Op, v float64) float64 {
+	switch o.Kind {
+	case privilege.ReadWrite:
+		return o.Value
+	case privilege.Reduce:
+		return privilege.Apply(o.Rop, v, o.Value)
+	default:
+		return v
+	}
+}
+
+// Blend is the blending function B of §3.1: it folds the time-ordered
+// operation sequence over the initial value v. The value observed by a read
+// at position i is Blend(ops[:i], v0).
+func Blend(ops []Op, v float64) float64 {
+	for _, o := range ops {
+		v = BlendOne(o, v)
+	}
+	return v
+}

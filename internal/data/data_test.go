@@ -1,0 +1,197 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+	"visibility/internal/privilege"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(2)
+	if s.Len() != 0 || s.Dim() != 2 {
+		t.Fatal("empty store wrong")
+	}
+	p := geometry.Pt2(1, 2)
+	if _, ok := s.Get(p); ok {
+		t.Error("Get on empty store")
+	}
+	s.Set(p, 3.5)
+	if v, ok := s.Get(p); !ok || v != 3.5 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if s.MustGet(p) != 3.5 {
+		t.Error("MustGet wrong")
+	}
+	s.Set(p, 4)
+	if s.Len() != 1 || s.MustGet(p) != 4 {
+		t.Error("Set should overwrite")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewStore(1).MustGet(geometry.Pt1(0))
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewStore(1)
+	s.Set(geometry.Pt1(0), 1)
+	c := s.Clone()
+	c.Set(geometry.Pt1(0), 2)
+	if s.MustGet(geometry.Pt1(0)) != 1 {
+		t.Error("Clone aliases original")
+	}
+	if !s.Equal(s.Clone()) {
+		t.Error("clone should be equal")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	s := NewStore(1)
+	for i := int64(0); i < 10; i++ {
+		s.Set(geometry.Pt1(i), float64(i))
+	}
+	r := s.Restrict(index.FromRect(geometry.R1(3, 5)))
+	if r.Len() != 3 {
+		t.Errorf("Restrict len = %d", r.Len())
+	}
+	if r.MustGet(geometry.Pt1(4)) != 4 {
+		t.Error("Restrict value wrong")
+	}
+	if _, ok := r.Get(geometry.Pt1(6)); ok {
+		t.Error("Restrict kept out-of-range point")
+	}
+	// Restricting to undefined points yields holes, not zeros.
+	r2 := s.Restrict(index.FromRect(geometry.R1(8, 12)))
+	if r2.Len() != 2 {
+		t.Errorf("Restrict over partial definition len = %d", r2.Len())
+	}
+}
+
+func TestEachSortedAndEqual(t *testing.T) {
+	s := NewStore(2)
+	s.Set(geometry.Pt2(1, 1), 1)
+	s.Set(geometry.Pt2(0, 2), 2)
+	s.Set(geometry.Pt2(5, 0), 3)
+	var order []geometry.Point
+	s.Each(func(p geometry.Point, _ float64) { order = append(order, p) })
+	want := []geometry.Point{geometry.Pt2(5, 0), geometry.Pt2(1, 1), geometry.Pt2(0, 2)}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", order, want)
+		}
+	}
+
+	o := s.Clone()
+	if !s.Equal(o) {
+		t.Error("Equal on clone failed")
+	}
+	o.Set(geometry.Pt2(9, 9), 0)
+	if s.Equal(o) {
+		t.Error("Equal on different stores")
+	}
+	if s.Diff(o) == "" {
+		t.Error("Diff should describe mismatch")
+	}
+	if s.Diff(s.Clone()) != "" {
+		t.Error("Diff of equal stores should be empty")
+	}
+}
+
+func TestBlendPaperSemantics(t *testing.T) {
+	// §3.1: writes opaque, reductions blend, reads transparent.
+	ops := []Op{
+		WriteOp(10),
+		ReduceOpOf(privilege.OpSum, 5),
+		ReadOp(),
+		ReduceOpOf(privilege.OpSum, 2),
+	}
+	if got := Blend(ops, 0); got != 17 {
+		t.Errorf("Blend = %v, want 17", got)
+	}
+	// A later write occludes everything before it.
+	ops = append(ops, WriteOp(100))
+	if got := Blend(ops, 0); got != 100 {
+		t.Errorf("Blend after write = %v, want 100", got)
+	}
+	// Value observed by a read at position i is Blend(ops[:i]).
+	if got := Blend(ops[:3], 0); got != 15 {
+		t.Errorf("read observes %v, want 15", got)
+	}
+}
+
+func TestBlendMinMax(t *testing.T) {
+	ops := []Op{
+		WriteOp(10),
+		ReduceOpOf(privilege.OpMin, 3),
+		ReduceOpOf(privilege.OpMax, 7),
+	}
+	if got := Blend(ops, 0); got != 7 {
+		t.Errorf("Blend = %v, want 7", got)
+	}
+	if got := Blend(ops[:2], 0); got != 3 {
+		t.Errorf("Blend = %v, want 3", got)
+	}
+}
+
+// Property: a write anywhere in the sequence makes the prefix irrelevant.
+func TestBlendWriteOcclusionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := rng.Intn(8)
+		ops := make([]Op, 0, n+1)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				ops = append(ops, WriteOp(rng.Float64()))
+			case 1:
+				ops = append(ops, ReduceOpOf(privilege.OpSum, rng.Float64()))
+			default:
+				ops = append(ops, ReadOp())
+			}
+		}
+		w := WriteOp(rng.Float64())
+		suffix := make([]Op, rng.Intn(4))
+		for i := range suffix {
+			suffix[i] = ReduceOpOf(privilege.OpSum, rng.Float64())
+		}
+		full := append(append(append([]Op{}, ops...), w), suffix...)
+		occl := append([]Op{w}, suffix...)
+		return Blend(full, 123) == Blend(occl, 456)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reads never change the blended value.
+func TestBlendReadTransparencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		n := rng.Intn(8)
+		ops := make([]Op, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				ops = append(ops, WriteOp(rng.Float64()))
+			} else {
+				ops = append(ops, ReduceOpOf(privilege.OpSum, rng.Float64()))
+			}
+		}
+		withReads := make([]Op, 0, 2*len(ops))
+		for _, o := range ops {
+			withReads = append(withReads, o, ReadOp())
+		}
+		return Blend(ops, 1) == Blend(withReads, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package deppart implements dependent partitioning (Treichler et al.,
+// OOPSLA'16, cited by the paper's §2 [25]): computing new partitions from
+// existing ones through relations, instead of enumerating pieces by hand.
+// This is how Legion applications derive ghost partitions — e.g. the ghost
+// nodes of a circuit piece are the image of its wires under the
+// wire→endpoint relation, minus the piece's own nodes.
+//
+// Relations are point-to-points functions. All operators work on index
+// spaces; the region package's Partition constructor turns the results
+// into region-tree partitions.
+package deppart
+
+import (
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+)
+
+// Relation maps a point to related points (e.g. a wire to its endpoints,
+// a cell to its stencil neighbors).
+type Relation func(geometry.Point) []geometry.Point
+
+// Image computes, for each source piece, the set of points its elements
+// map to under rel, clipped to target. The result array is parallel to
+// sources. (Legion's image operator.)
+func Image(sources []index.Space, rel Relation, target index.Space, dim int) []index.Space {
+	out := make([]index.Space, len(sources))
+	for i, src := range sources {
+		var pts []geometry.Point
+		src.Each(func(p geometry.Point) bool {
+			pts = append(pts, rel(p)...)
+			return true
+		})
+		out[i] = index.FromPoints(dim, pts...).Intersect(target)
+	}
+	return out
+}
+
+// Preimage computes, for each target piece, the set of source points whose
+// image intersects it. (Legion's preimage operator.)
+func Preimage(source index.Space, rel Relation, targets []index.Space, dim int) []index.Space {
+	out := make([]index.Space, len(targets))
+	// Invert pointwise: for each source point, find the target pieces its
+	// image touches.
+	buckets := make([][]geometry.Point, len(targets))
+	source.Each(func(p geometry.Point) bool {
+		for _, q := range rel(p) {
+			for ti, t := range targets {
+				if t.Contains(q) {
+					buckets[ti] = append(buckets[ti], p)
+				}
+			}
+		}
+		return true
+	})
+	for ti, pts := range buckets {
+		out[ti] = index.FromPoints(dim, pts...)
+	}
+	return out
+}
+
+// ByColor partitions space into n pieces by a coloring function: piece i
+// holds the points colored i. Points colored outside [0,n) are dropped
+// (an incomplete partition). (Legion's partition-by-field.)
+func ByColor(space index.Space, n int, color func(geometry.Point) int) []index.Space {
+	buckets := make([][]geometry.Point, n)
+	space.Each(func(p geometry.Point) bool {
+		if c := color(p); c >= 0 && c < n {
+			buckets[c] = append(buckets[c], p)
+		}
+		return true
+	})
+	out := make([]index.Space, n)
+	for i, pts := range buckets {
+		out[i] = index.FromPoints(space.Dim(), pts...)
+	}
+	return out
+}
+
+// Difference computes the pairwise difference of two parallel piece
+// arrays: out[i] = a[i] \ b[i]. Used to strip a piece's own elements from
+// its image when computing ghosts.
+func Difference(a, b []index.Space) []index.Space {
+	out := make([]index.Space, len(a))
+	for i := range a {
+		out[i] = a[i].Subtract(b[i])
+	}
+	return out
+}
+
+// Intersect computes the pairwise intersection of two parallel piece
+// arrays.
+func Intersect(a, b []index.Space) []index.Space {
+	out := make([]index.Space, len(a))
+	for i := range a {
+		out[i] = a[i].Intersect(b[i])
+	}
+	return out
+}
+
+// Union computes the pairwise union of two parallel piece arrays.
+func Union(a, b []index.Space) []index.Space {
+	out := make([]index.Space, len(a))
+	for i := range a {
+		out[i] = a[i].Union(b[i])
+	}
+	return out
+}

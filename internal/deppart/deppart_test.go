@@ -1,0 +1,157 @@
+package deppart
+
+import (
+	"math/rand"
+	"testing"
+
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+)
+
+// ringRel relates each node on a ring of n to its two neighbors.
+func ringRel(n int64) Relation {
+	return func(p geometry.Point) []geometry.Point {
+		x := p.C[0]
+		return []geometry.Point{
+			geometry.Pt1((x - 1 + n) % n),
+			geometry.Pt1((x + 1) % n),
+		}
+	}
+}
+
+func TestImageComputesGhosts(t *testing.T) {
+	n := int64(12)
+	root := index.FromRect(geometry.R1(0, n-1))
+	pieces := []index.Space{
+		index.FromRect(geometry.R1(0, 3)),
+		index.FromRect(geometry.R1(4, 7)),
+		index.FromRect(geometry.R1(8, 11)),
+	}
+	img := Image(pieces, ringRel(n), root, 1)
+	// Image of piece 0 under the neighbor relation: {11,1} ∪ {0,2} ∪ ... =
+	// {11, 0..4}.
+	want := index.FromRects(1, geometry.R1(0, 4), geometry.R1(11, 11))
+	if !img[0].Equal(want) {
+		t.Errorf("image[0] = %v, want %v", img[0], want)
+	}
+
+	// Ghost partition: image minus the piece itself.
+	ghosts := Difference(img, pieces)
+	wantGhost := index.FromRects(1, geometry.R1(4, 4), geometry.R1(11, 11))
+	if !ghosts[0].Equal(wantGhost) {
+		t.Errorf("ghost[0] = %v, want %v", ghosts[0], wantGhost)
+	}
+	for i := range ghosts {
+		if ghosts[i].Overlaps(pieces[i]) {
+			t.Errorf("ghost %d overlaps its own piece", i)
+		}
+	}
+}
+
+func TestPreimageDuality(t *testing.T) {
+	// x ∈ Preimage(t_i) ⇔ rel(x) ∩ t_i ≠ ∅, checked exhaustively against
+	// a random relation.
+	rng := rand.New(rand.NewSource(5))
+	n := int64(20)
+	src := index.FromRect(geometry.R1(0, n-1))
+	targets := []index.Space{
+		index.FromRect(geometry.R1(0, 9)),
+		index.FromRects(1, geometry.R1(5, 12), geometry.R1(18, 19)),
+	}
+	table := make(map[geometry.Point][]geometry.Point)
+	src.Each(func(p geometry.Point) bool {
+		k := rng.Intn(3)
+		for j := 0; j < k; j++ {
+			table[p] = append(table[p], geometry.Pt1(rng.Int63n(n)))
+		}
+		return true
+	})
+	rel := func(p geometry.Point) []geometry.Point { return table[p] }
+
+	pre := Preimage(src, rel, targets, 1)
+	for ti, tgt := range targets {
+		src.Each(func(p geometry.Point) bool {
+			want := false
+			for _, q := range rel(p) {
+				if tgt.Contains(q) {
+					want = true
+				}
+			}
+			if got := pre[ti].Contains(p); got != want {
+				t.Fatalf("preimage[%d] contains %v = %v, want %v", ti, p, got, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestImagePreimageRoundTrip(t *testing.T) {
+	// For any piece s and relation rel: s ⊆ Preimage(Image(s)).
+	n := int64(16)
+	root := index.FromRect(geometry.R1(0, n-1))
+	pieces := []index.Space{
+		index.FromRect(geometry.R1(2, 5)),
+		index.FromRect(geometry.R1(9, 14)),
+	}
+	rel := ringRel(n)
+	img := Image(pieces, rel, root, 1)
+	for i, s := range pieces {
+		pre := Preimage(root, rel, []index.Space{img[i]}, 1)
+		if !pre[0].Covers(s) {
+			t.Errorf("piece %d not covered by preimage of its image", i)
+		}
+	}
+}
+
+func TestByColor(t *testing.T) {
+	space := index.FromRect(geometry.R1(0, 9))
+	pieces := ByColor(space, 3, func(p geometry.Point) int {
+		if p.C[0] == 9 {
+			return -1 // uncolored
+		}
+		return int(p.C[0] % 3)
+	})
+	if pieces[0].Volume() != 3 || !pieces[0].Contains(geometry.Pt1(6)) {
+		t.Errorf("color 0 = %v", pieces[0])
+	}
+	if pieces[2].Contains(geometry.Pt1(9)) {
+		t.Error("uncolored point should be dropped")
+	}
+	// Colors partition the colored subset disjointly.
+	for i := range pieces {
+		for j := i + 1; j < len(pieces); j++ {
+			if pieces[i].Overlaps(pieces[j]) {
+				t.Errorf("colors %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestSetOperators(t *testing.T) {
+	a := []index.Space{index.FromRect(geometry.R1(0, 5)), index.FromRect(geometry.R1(10, 15))}
+	b := []index.Space{index.FromRect(geometry.R1(3, 8)), index.FromRect(geometry.R1(14, 20))}
+	inter := Intersect(a, b)
+	if !inter[0].Equal(index.FromRect(geometry.R1(3, 5))) {
+		t.Errorf("Intersect[0] = %v", inter[0])
+	}
+	uni := Union(a, b)
+	if !uni[1].Equal(index.FromRect(geometry.R1(10, 20))) {
+		t.Errorf("Union[1] = %v", uni[1])
+	}
+	diff := Difference(a, b)
+	if !diff[0].Equal(index.FromRect(geometry.R1(0, 2))) {
+		t.Errorf("Difference[0] = %v", diff[0])
+	}
+}
+
+func TestImageClipsToTarget(t *testing.T) {
+	// Relations may produce points outside the target region; Image clips.
+	src := []index.Space{index.FromRect(geometry.R1(0, 3))}
+	rel := func(p geometry.Point) []geometry.Point {
+		return []geometry.Point{geometry.Pt1(p.C[0] + 100)}
+	}
+	img := Image(src, rel, index.FromRect(geometry.R1(0, 50)), 1)
+	if !img[0].IsEmpty() {
+		t.Errorf("out-of-target image should be empty, got %v", img[0])
+	}
+}

@@ -1,0 +1,292 @@
+// Package dist drives a coherence analyzer over a simulated
+// distributed-memory machine (paper §8): it decides where each launch's
+// dependence/coherence analysis executes, converts the analyzer's
+// state-ownership touches into simulated work and messages, routes the
+// materialization plan's data movement over the network, and schedules
+// task execution behind its dependences.
+//
+// Without dynamic control replication (DCR), every launch is analyzed on
+// node 0 — the single top-level task of the implicitly-parallel program —
+// which becomes a sequential bottleneck at scale. With DCR, launches are
+// analyzed on the shard (node) that will execute them, distributing the
+// analysis exactly as Legion's control replication does (§8, [4]).
+package dist
+
+import (
+	"visibility/internal/bvh"
+	"visibility/internal/cluster"
+	"visibility/internal/core"
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+	"visibility/internal/region"
+)
+
+// futureBytes is the wire size of one future value.
+const futureBytes = 64
+
+// Config tunes the analysis cost model.
+type Config struct {
+	// DCR shards analysis across nodes when true; otherwise all analysis
+	// funnels through node 0.
+	DCR bool
+	// OpCost is seconds of CPU per analysis op unit (one history entry
+	// scan, overlap test, or state mutation as reported by probes).
+	OpCost cluster.Time
+	// VisitCost is seconds per traversal step through replicated
+	// acceleration structures — pointer chases, far cheaper than OpCost.
+	VisitCost cluster.Time
+	// LaunchOverhead is the fixed cost of processing one task launch on
+	// its analysis node.
+	LaunchOverhead cluster.Time
+	// ControlBytes is the size of a control message touching remote
+	// analysis state.
+	ControlBytes int64
+	// BytesPerPoint scales a materialization plan entry's index-space
+	// volume to bytes moved. Apps using scaled-down index spaces set this
+	// to (model bytes per region) / (index-space volume).
+	BytesPerPoint float64
+}
+
+// DefaultConfig returns cost-model constants calibrated so that a
+// single-node launch costs O(10µs) of analysis, resembling untraced Legion.
+func DefaultConfig(dcr bool) Config {
+	return Config{
+		DCR:            dcr,
+		OpCost:         1.2e-6,
+		VisitCost:      5e-8,
+		LaunchOverhead: 8e-6,
+		ControlBytes:   256,
+		BytesPerPoint:  8,
+	}
+}
+
+// Driver runs launches through an analyzer onto a machine.
+type Driver struct {
+	m   *cluster.Machine
+	an  core.Analyzer
+	cfg Config
+
+	probe    *recorder
+	taskDone map[int]cluster.Ref
+	taskNode map[int]int
+	owner    core.OwnerFunc
+	all      []cluster.Ref
+
+	// lastAnalysis orders each shard's analysis in program order: a
+	// dynamic dependence analysis observes launches sequentially (§3.2).
+	lastAnalysis map[int]cluster.Ref
+}
+
+// visitOwner marks traversal work (Probe.Visit) in the touch sequence.
+const visitOwner = -2
+
+// recorder implements core.Probe, buffering the touches of one Analyze.
+type recorder struct {
+	touches      []touch
+	analysisNode int
+	cached       map[fetchKey]bool
+}
+
+type touch struct {
+	owner int
+	ops   int64
+}
+
+func (r *recorder) add(owner int, ops int64) {
+	// Coalesce consecutive touches to the same owner: they are one visit.
+	if n := len(r.touches); n > 0 && r.touches[n-1].owner == owner {
+		r.touches[n-1].ops += ops
+		return
+	}
+	r.touches = append(r.touches, touch{owner, ops})
+}
+
+// Touch implements core.Probe.
+func (r *recorder) Touch(owner int, ops int64) { r.add(owner, ops) }
+
+// Visit implements core.Probe.
+func (r *recorder) Visit(ops int64) { r.add(visitOwner, ops) }
+
+// Fetch implements core.Probe. The driver resolves whether the analyzing
+// node has already cached this token: a first fetch is a remote touch that
+// transfers the state, a repeat is a local visit.
+func (r *recorder) Fetch(owner int, token int64, ops int64) {
+	key := fetchKey{node: r.analysisNode, token: token}
+	if r.cached[key] {
+		r.add(visitOwner, 1)
+		return
+	}
+	r.cached[key] = true
+	if owner == r.analysisNode || owner == core.LocalOwner {
+		r.add(r.analysisNode, ops)
+		return
+	}
+	r.add(owner, ops)
+}
+
+type fetchKey struct {
+	node  int
+	token int64
+}
+
+// NewAnalyzerFunc constructs an analyzer given instrumentation options;
+// each algorithm's New matches it.
+type NewAnalyzerFunc func(tree *region.Tree, opts core.Options) core.Analyzer
+
+// New creates a Driver: it builds the analyzer with a probe attached and
+// with state ownership assigned by owner.
+func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, owner core.OwnerFunc, cfg Config) *Driver {
+	d := &Driver{
+		m:            m,
+		cfg:          cfg,
+		probe:        &recorder{cached: make(map[fetchKey]bool)},
+		taskDone:     make(map[int]cluster.Ref),
+		taskNode:     make(map[int]int),
+		owner:        owner,
+		lastAnalysis: make(map[int]cluster.Ref),
+	}
+	d.an = newAnalyzer(tree, core.Options{Probe: d.probe, Owner: owner})
+	return d
+}
+
+// Analyzer returns the driven analyzer (for stats inspection).
+func (d *Driver) Analyzer() core.Analyzer { return d.an }
+
+// Launch analyzes t and schedules its execution on execNode for dur
+// seconds of virtual time. It returns the completion reference.
+func (d *Driver) Launch(t *core.Task, execNode int, dur cluster.Time) cluster.Ref {
+	analysisNode := 0
+	if d.cfg.DCR {
+		analysisNode = execNode
+	}
+
+	d.probe.touches = d.probe.touches[:0]
+	d.probe.analysisNode = analysisNode
+	res := d.an.Analyze(t)
+
+	// Analysis: fixed launch overhead, then the recorded state touches in
+	// order, all on utility processors. Remote-owned state costs a control
+	// round trip and queues its work on the owner's utility processor.
+	prev, ok := d.lastAnalysis[analysisNode]
+	if !ok {
+		prev = cluster.NoRef
+	}
+	// Local work (launch overhead, local state, traversal) runs serially;
+	// remote-owned state is touched by one batched request per owner, all
+	// issued in parallel after the local work, as Legion's analysis
+	// broadcasts requests and gathers responses.
+	var local cluster.Time = d.cfg.LaunchOverhead
+	remoteOps := make(map[int]int64)
+	var remoteOrder []int
+	for _, tc := range d.probe.touches {
+		switch {
+		case tc.owner == visitOwner:
+			local += cluster.Time(tc.ops) * d.cfg.VisitCost
+		case tc.owner == core.LocalOwner || tc.owner == analysisNode:
+			local += cluster.Time(tc.ops) * d.cfg.OpCost
+		default:
+			if _, seen := remoteOps[tc.owner]; !seen {
+				remoteOrder = append(remoteOrder, tc.owner)
+			}
+			remoteOps[tc.owner] += tc.ops
+		}
+	}
+	chain := d.m.Util(analysisNode, local, prev)
+	if len(remoteOrder) > 0 {
+		gather := make([]cluster.Ref, 0, len(remoteOrder))
+		for _, owner := range remoteOrder {
+			req := d.m.Message(analysisNode, owner, d.cfg.ControlBytes, chain)
+			remote := d.m.Util(owner, cluster.Time(remoteOps[owner])*d.cfg.OpCost, req)
+			gather = append(gather, d.m.Message(owner, analysisNode, d.cfg.ControlBytes, remote))
+		}
+		chain = d.m.AfterAll(gather...)
+	}
+	d.lastAnalysis[analysisNode] = chain
+
+	// Gather preconditions: completion of dependences, delivery of the
+	// data each plan entry materializes, and any consumed futures (small
+	// messages from their producers' nodes).
+	pres := []cluster.Ref{chain}
+	for _, dep := range res.Deps {
+		if r, ok := d.taskDone[dep]; ok {
+			pres = append(pres, r)
+		}
+	}
+	for _, fd := range t.FutureDeps {
+		r, ok := d.taskDone[fd]
+		if !ok {
+			continue
+		}
+		src := d.taskNode[fd]
+		if src == execNode {
+			pres = append(pres, r)
+			continue
+		}
+		pres = append(pres, d.m.Message(src, execNode, futureBytes, r))
+	}
+	for _, plan := range res.Plans {
+		for _, v := range plan {
+			src, after := d.producer(v)
+			if src == execNode {
+				continue
+			}
+			bytes := int64(float64(v.Pts.Volume()) * d.cfg.BytesPerPoint)
+			pres = append(pres, d.m.Message(src, execNode, bytes, after))
+		}
+	}
+
+	done := d.m.Exec(execNode, dur, pres...)
+	d.taskDone[t.ID] = done
+	d.taskNode[t.ID] = execNode
+	d.all = append(d.all, done)
+	return done
+}
+
+// producer returns the node holding a plan entry's data and the reference
+// after which it is available.
+func (d *Driver) producer(v core.Visible) (int, cluster.Ref) {
+	if v.Task == core.InitialTask {
+		return d.owner(v.Pts), cluster.NoRef
+	}
+	return d.taskNode[v.Task], d.taskDone[v.Task]
+}
+
+// Barrier returns the virtual time at which every launch so far has
+// completed — an execution fence, used to delimit the initialization and
+// steady-state measurement phases.
+func (d *Driver) Barrier() cluster.Time {
+	return d.m.TimeOf(d.m.AfterAll(d.all...))
+}
+
+// OwnerByPartition returns an OwnerFunc assigning state to the node owning
+// the first subregion of p it overlaps (subregion index modulo the machine
+// size), with node 0 owning anything outside p — the usual
+// "analysis state lives with the primary partition" placement.
+func OwnerByPartition(p *region.Partition, nodes int) core.OwnerFunc {
+	var inputs []bvh.Input
+	for i, sub := range p.Subregions {
+		for _, r := range sub.Space.Rects() {
+			inputs = append(inputs, bvh.Input{Box: r, ID: i})
+		}
+	}
+	tree := bvh.Build(inputs)
+	subs := p.Subregions
+	return func(sp index.Space) int {
+		if sp.IsEmpty() {
+			return 0
+		}
+		// Use the first point of the space to pick a unique owner.
+		lo := sp.Bounds().Lo
+		probe := geometry.PointRect(lo, sp.Dim())
+		best := -1
+		tree.Query(probe, func(i int) {
+			if subs[i].Space.Contains(lo) && (best == -1 || i < best) {
+				best = i
+			}
+		})
+		if best == -1 {
+			return 0
+		}
+		return best % nodes
+	}
+}

@@ -1,0 +1,101 @@
+package event
+
+import (
+	"sync"
+)
+
+// Barrier is a phase barrier in the Realm style: it triggers once an
+// expected number of arrivals have been recorded, and advances through
+// generations so a repetitive computation can reuse one barrier per
+// phase without re-plumbing events.
+type Barrier struct {
+	mu        sync.Mutex
+	arrivals  int
+	remaining int
+	ev        *Event
+	next      *Barrier
+}
+
+// NewBarrier creates a barrier expecting the given number of arrivals per
+// generation.
+func NewBarrier(arrivals int) *Barrier {
+	if arrivals < 1 {
+		panic("event: barrier needs at least one arrival")
+	}
+	return &Barrier{arrivals: arrivals, remaining: arrivals, ev: NewUserEvent()}
+}
+
+// Arrive records count arrivals on this generation; the barrier's event
+// triggers when the expected number have arrived. Over-arriving panics.
+func (b *Barrier) Arrive(count int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if count < 1 {
+		panic("event: arrival count must be positive")
+	}
+	if count > b.remaining {
+		panic("event: too many arrivals on barrier generation")
+	}
+	b.remaining -= count
+	if b.remaining == 0 {
+		b.ev.Trigger()
+	}
+}
+
+// Event returns the event that triggers when this generation completes.
+func (b *Barrier) Event() *Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ev
+}
+
+// Advance returns the next generation of the barrier (creating it on
+// first use); all callers advancing from the same generation observe the
+// same next generation.
+func (b *Barrier) Advance() *Barrier {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.next == nil {
+		b.next = NewBarrier(b.arrivals)
+	}
+	return b.next
+}
+
+// Reservation provides deferred mutual exclusion in the Realm style:
+// Acquire returns an event that triggers once the reservation is held
+// (after an optional precondition), without blocking the caller. The
+// holder must Release to pass the reservation on, in acquisition order.
+type Reservation struct {
+	token chan struct{}
+}
+
+// NewReservation creates an unheld reservation.
+func NewReservation() *Reservation {
+	r := &Reservation{token: make(chan struct{}, 1)}
+	r.token <- struct{}{}
+	return r
+}
+
+// Acquire requests the reservation once pre has triggered (nil means
+// immediately) and returns an event that triggers when it is held.
+func (r *Reservation) Acquire(pre *Event) *Event {
+	granted := NewUserEvent()
+	go func() {
+		if pre != nil {
+			pre.Wait()
+		}
+		<-r.token
+		granted.Trigger()
+	}()
+	return granted
+}
+
+// Release passes the reservation to the next waiter. Releasing an unheld
+// reservation panics.
+func (r *Reservation) Release() {
+	select {
+	case r.token <- struct{}{}:
+	default:
+		panic("event: release of unheld reservation")
+	}
+}

@@ -1,0 +1,123 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBarrierTriggersOnFullArrival(t *testing.T) {
+	b := NewBarrier(3)
+	b.Arrive(1)
+	b.Arrive(1)
+	if b.Event().HasTriggered() {
+		t.Fatal("barrier triggered early")
+	}
+	b.Arrive(1)
+	b.Event().Wait()
+}
+
+func TestBarrierBulkArrive(t *testing.T) {
+	b := NewBarrier(4)
+	b.Arrive(4)
+	if !b.Event().HasTriggered() {
+		t.Fatal("bulk arrival should trigger")
+	}
+}
+
+func TestBarrierGenerations(t *testing.T) {
+	b := NewBarrier(2)
+	g1a := b.Advance()
+	g1b := b.Advance()
+	if g1a != g1b {
+		t.Fatal("Advance must return one shared next generation")
+	}
+	b.Arrive(2)
+	if g1a.Event().HasTriggered() {
+		t.Fatal("next generation triggered by previous generation's arrivals")
+	}
+	g1a.Arrive(2)
+	g1a.Event().Wait()
+}
+
+func TestBarrierMisuse(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero arrivals": func() { NewBarrier(0) },
+		"over-arrive":   func() { b := NewBarrier(1); b.Arrive(2) },
+		"bad count":     func() { b := NewBarrier(1); b.Arrive(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBarrierConcurrentArrivals(t *testing.T) {
+	n := 64
+	b := NewBarrier(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Arrive(1)
+		}()
+	}
+	wg.Wait()
+	if !b.Event().HasTriggered() {
+		t.Fatal("barrier did not trigger after all concurrent arrivals")
+	}
+}
+
+func TestReservationMutualExclusion(t *testing.T) {
+	r := NewReservation()
+	var inside atomic.Int64
+	var maxInside atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Acquire(nil).Wait()
+			if v := inside.Add(1); v > maxInside.Load() {
+				maxInside.Store(v)
+			}
+			time.Sleep(time.Microsecond)
+			inside.Add(-1)
+			r.Release()
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() != 1 {
+		t.Fatalf("reservation admitted %d holders", maxInside.Load())
+	}
+}
+
+func TestReservationWaitsForPrecondition(t *testing.T) {
+	r := NewReservation()
+	pre := NewUserEvent()
+	granted := r.Acquire(pre)
+	time.Sleep(time.Millisecond)
+	if granted.HasTriggered() {
+		t.Fatal("acquired before precondition")
+	}
+	pre.Trigger()
+	granted.Wait()
+	r.Release()
+}
+
+func TestReservationReleaseUnheldPanics(t *testing.T) {
+	r := NewReservation()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Release()
+}

@@ -1,0 +1,146 @@
+// Package event provides the low-level deferred-execution substrate the
+// runtime is built on, modeled after Realm (Treichler et al., PACT'14),
+// the event-based runtime beneath Legion: one-shot events, user-triggered
+// events, event merging, and processors that run work once its
+// preconditions have triggered.
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Event is a one-shot completion handle: it transitions from untriggered to
+// triggered exactly once, and any number of goroutines may wait on it.
+type Event struct {
+	done chan struct{}
+	once sync.Once
+}
+
+// NewUserEvent returns an untriggered event that the caller will trigger.
+func NewUserEvent() *Event {
+	return &Event{done: make(chan struct{})}
+}
+
+// Done returns an already-triggered event (the no-precondition event).
+func Done() *Event {
+	e := NewUserEvent()
+	e.Trigger()
+	return e
+}
+
+// Trigger fires the event. Triggering more than once is a no-op, matching
+// Realm's idempotent event semantics.
+func (e *Event) Trigger() {
+	e.once.Do(func() { close(e.done) })
+}
+
+// Wait blocks until the event has triggered.
+func (e *Event) Wait() { <-e.done }
+
+// HasTriggered reports whether the event has triggered, without blocking.
+func (e *Event) HasTriggered() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Merge returns an event that triggers once all inputs have triggered.
+// Merging nothing returns a triggered event.
+func Merge(events ...*Event) *Event {
+	pending := make([]*Event, 0, len(events))
+	for _, e := range events {
+		if e != nil && !e.HasTriggered() {
+			pending = append(pending, e)
+		}
+	}
+	if len(pending) == 0 {
+		return Done()
+	}
+	out := NewUserEvent()
+	var remaining atomic.Int64
+	remaining.Store(int64(len(pending)))
+	for _, e := range pending {
+		e := e
+		go func() {
+			e.Wait()
+			if remaining.Add(-1) == 0 {
+				out.Trigger()
+			}
+		}()
+	}
+	return out
+}
+
+// Processor executes deferred work items in submission order on a single
+// goroutine, the analog of a Realm processor. Work gated on untriggered
+// preconditions does not block the processor pipeline: it is re-enqueued by
+// a waiter goroutine when ready.
+type Processor struct {
+	queue chan work
+	wg    sync.WaitGroup
+	quit  chan struct{}
+}
+
+type work struct {
+	f    func()
+	done *Event
+}
+
+// NewProcessor starts a processor with the given queue depth.
+func NewProcessor(depth int) *Processor {
+	p := &Processor{queue: make(chan work, depth), quit: make(chan struct{})}
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+func (p *Processor) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case w := <-p.queue:
+			w.f()
+			w.done.Trigger()
+		case <-p.quit:
+			// Drain anything already queued, then exit.
+			for {
+				select {
+				case w := <-p.queue:
+					w.f()
+					w.done.Trigger()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Spawn schedules f to run on the processor once pre has triggered and
+// returns f's completion event. A nil pre means no precondition.
+func (p *Processor) Spawn(pre *Event, f func()) *Event {
+	done := NewUserEvent()
+	enqueue := func() { p.queue <- work{f: f, done: done} }
+	if pre == nil || pre.HasTriggered() {
+		enqueue()
+	} else {
+		go func() {
+			pre.Wait()
+			enqueue()
+		}()
+	}
+	return done
+}
+
+// Shutdown stops the processor after finishing queued work. Spawning after
+// Shutdown panics (send on closed channel is avoided by the quit check, so
+// the panic surface is the internal queue; callers must stop spawning
+// first).
+func (p *Processor) Shutdown() {
+	close(p.quit)
+	p.wg.Wait()
+}

@@ -1,0 +1,131 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTriggerAndWait(t *testing.T) {
+	e := NewUserEvent()
+	if e.HasTriggered() {
+		t.Fatal("new event already triggered")
+	}
+	go e.Trigger()
+	e.Wait()
+	if !e.HasTriggered() {
+		t.Fatal("triggered event reports untriggered")
+	}
+	e.Trigger() // idempotent
+}
+
+func TestDone(t *testing.T) {
+	if !Done().HasTriggered() {
+		t.Fatal("Done() should be pre-triggered")
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	a, b, c := NewUserEvent(), NewUserEvent(), NewUserEvent()
+	m := Merge(a, b, c)
+	if m.HasTriggered() {
+		t.Fatal("merge triggered early")
+	}
+	a.Trigger()
+	b.Trigger()
+	time.Sleep(time.Millisecond)
+	if m.HasTriggered() {
+		t.Fatal("merge triggered before all inputs")
+	}
+	c.Trigger()
+	m.Wait()
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if !Merge().HasTriggered() {
+		t.Error("empty merge should be triggered")
+	}
+	if !Merge(nil, Done(), nil).HasTriggered() {
+		t.Error("merge of nil and done should be triggered")
+	}
+	e := NewUserEvent()
+	m := Merge(e, nil, Done())
+	if m.HasTriggered() {
+		t.Error("merge with one pending input triggered early")
+	}
+	e.Trigger()
+	m.Wait()
+}
+
+func TestProcessorOrdering(t *testing.T) {
+	p := NewProcessor(16)
+	defer p.Shutdown()
+	var order []int
+	var mu sync.Mutex
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, p.Spawn(nil, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}))
+	}
+	for _, e := range evs {
+		e.Wait()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("processor ran out of order: %v", order)
+		}
+	}
+}
+
+func TestProcessorPrecondition(t *testing.T) {
+	p := NewProcessor(4)
+	defer p.Shutdown()
+	pre := NewUserEvent()
+	var ran atomic.Bool
+	done := p.Spawn(pre, func() { ran.Store(true) })
+	time.Sleep(2 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("work ran before precondition")
+	}
+	// The processor is not blocked by the gated work.
+	other := p.Spawn(nil, func() {})
+	other.Wait()
+	pre.Trigger()
+	done.Wait()
+	if !ran.Load() {
+		t.Fatal("work did not run after trigger")
+	}
+}
+
+func TestProcessorParallelismAcrossProcessors(t *testing.T) {
+	// Two processors can make progress concurrently: a rendezvous where
+	// each side waits for the other would deadlock on one processor.
+	p1, p2 := NewProcessor(4), NewProcessor(4)
+	defer p1.Shutdown()
+	defer p2.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	meet := func() {
+		wg.Done()
+		wg.Wait()
+	}
+	d1 := p1.Spawn(nil, meet)
+	d2 := p2.Spawn(nil, meet)
+	timeout := time.After(2 * time.Second)
+	ok := make(chan struct{})
+	go func() {
+		d1.Wait()
+		d2.Wait()
+		close(ok)
+	}()
+	select {
+	case <-ok:
+	case <-timeout:
+		t.Fatal("processors did not run concurrently")
+	}
+}

@@ -1,0 +1,97 @@
+package field
+
+import "testing"
+
+func TestSpaceAddLookup(t *testing.T) {
+	s := NewSpace()
+	up := s.Add("up")
+	down := s.Add("down")
+	if up == down {
+		t.Fatal("distinct fields share an ID")
+	}
+	if got, ok := s.Lookup("up"); !ok || got != up {
+		t.Errorf("Lookup(up) = %v, %v", got, ok)
+	}
+	if _, ok := s.Lookup("sideways"); ok {
+		t.Error("Lookup of missing field succeeded")
+	}
+	if s.Name(down) != "down" {
+		t.Errorf("Name(down) = %q", s.Name(down))
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSpaceDuplicatePanics(t *testing.T) {
+	s := NewSpace()
+	s.Add("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate field")
+		}
+	}()
+	s.Add("x")
+}
+
+func TestSpaceTooManyPanics(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < MaxFields; i++ {
+		s.Add(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic past MaxFields")
+		}
+	}()
+	s.Add("overflow")
+}
+
+func TestSpaceAll(t *testing.T) {
+	s := NewSpace()
+	a := s.Add("a")
+	b := s.Add("b")
+	all := s.All()
+	if !all.Has(a) || !all.Has(b) || all.Count() != 2 {
+		t.Errorf("All = %b", all)
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	m := MaskOf(0, 3, 5)
+	if !m.Has(0) || !m.Has(3) || !m.Has(5) || m.Has(1) {
+		t.Errorf("MaskOf membership wrong: %b", m)
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if m.Without(3).Has(3) {
+		t.Error("Without failed")
+	}
+	if !m.With(7).Has(7) {
+		t.Error("With failed")
+	}
+	if got := m.Intersect(MaskOf(3, 5, 9)); got != MaskOf(3, 5) {
+		t.Errorf("Intersect = %b", got)
+	}
+	if got := MaskOf(1).Union(MaskOf(2)); got != MaskOf(1, 2) {
+		t.Errorf("Union = %b", got)
+	}
+	if !Mask(0).IsEmpty() || m.IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+}
+
+func TestMaskEachOrder(t *testing.T) {
+	var got []ID
+	MaskOf(5, 1, 9).Each(func(id ID) { got = append(got, id) })
+	want := []ID{1, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Each = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each = %v, want %v", got, want)
+		}
+	}
+}

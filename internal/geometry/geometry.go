@@ -1,0 +1,278 @@
+// Package geometry provides n-dimensional integer points and rectangles,
+// the primitive spatial vocabulary for index spaces, regions, and the
+// visibility algorithms built on top of them.
+//
+// Coordinates are int64. Rectangles are axis-aligned with inclusive bounds
+// on every axis, matching Legion's index-space rectangles. Dimensions up to
+// MaxDim are supported; unused coordinates are zero so that Point values are
+// directly comparable and usable as map keys.
+package geometry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxDim is the maximum number of spatial dimensions supported.
+const MaxDim = 3
+
+// Point is an n-dimensional integer point. Coordinates beyond the dimension
+// of the enclosing space are zero, so Point is comparable and may be used as
+// a map key regardless of dimensionality.
+type Point struct {
+	C [MaxDim]int64
+}
+
+// Pt1 returns a 1-D point.
+func Pt1(x int64) Point { return Point{C: [MaxDim]int64{x}} }
+
+// Pt2 returns a 2-D point.
+func Pt2(x, y int64) Point { return Point{C: [MaxDim]int64{x, y}} }
+
+// Pt3 returns a 3-D point.
+func Pt3(x, y, z int64) Point { return Point{C: [MaxDim]int64{x, y, z}} }
+
+// Less reports whether p precedes q in lexicographic order over the first
+// dim coordinates, comparing the highest axis first so iteration order
+// matches row-major traversal.
+func (p Point) Less(q Point, dim int) bool {
+	for a := dim - 1; a >= 0; a-- {
+		if p.C[a] != q.C[a] {
+			return p.C[a] < q.C[a]
+		}
+	}
+	return false
+}
+
+// String formats the point for debugging, e.g. "(3,4)". All MaxDim
+// coordinates are printed; trailing zeros are harmless.
+func (p Point) String() string {
+	parts := make([]string, MaxDim)
+	for a := 0; a < MaxDim; a++ {
+		parts[a] = fmt.Sprint(p.C[a])
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Rect is an axis-aligned n-dimensional rectangle with inclusive bounds.
+// A Rect is empty when Lo.C[a] > Hi.C[a] for any axis a < Dim.
+type Rect struct {
+	Lo, Hi Point
+	Dim    int
+}
+
+// R1 returns the 1-D rectangle [lo, hi].
+func R1(lo, hi int64) Rect { return Rect{Lo: Pt1(lo), Hi: Pt1(hi), Dim: 1} }
+
+// R2 returns the 2-D rectangle [lox,hix] x [loy,hiy].
+func R2(lox, loy, hix, hiy int64) Rect {
+	return Rect{Lo: Pt2(lox, loy), Hi: Pt2(hix, hiy), Dim: 2}
+}
+
+// R3 returns the 3-D rectangle with the given inclusive bounds.
+func R3(lox, loy, loz, hix, hiy, hiz int64) Rect {
+	return Rect{Lo: Pt3(lox, loy, loz), Hi: Pt3(hix, hiy, hiz), Dim: 3}
+}
+
+// PointRect returns the degenerate rectangle containing exactly p.
+func PointRect(p Point, dim int) Rect { return Rect{Lo: p, Hi: p, Dim: dim} }
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool {
+	if r.Dim <= 0 {
+		return true
+	}
+	for a := 0; a < r.Dim; a++ {
+		if r.Lo.C[a] > r.Hi.C[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// Volume returns the number of points in r.
+func (r Rect) Volume() int64 {
+	if r.Empty() {
+		return 0
+	}
+	v := int64(1)
+	for a := 0; a < r.Dim; a++ {
+		v *= r.Hi.C[a] - r.Lo.C[a] + 1
+	}
+	return v
+}
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	if r.Empty() {
+		return false
+	}
+	for a := 0; a < r.Dim; a++ {
+		if p.C[a] < r.Lo.C[a] || p.C[a] > r.Hi.C[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether every point of s lies inside r. An empty s is
+// contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	if r.Empty() {
+		return false
+	}
+	for a := 0; a < r.Dim; a++ {
+		if s.Lo.C[a] < r.Lo.C[a] || s.Hi.C[a] > r.Hi.C[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether r and s share at least one point.
+func (r Rect) Overlaps(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	for a := 0; a < r.Dim; a++ {
+		if r.Hi.C[a] < s.Lo.C[a] || s.Hi.C[a] < r.Lo.C[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the common rectangle of r and s, which may be empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{Dim: r.Dim}
+	for a := 0; a < r.Dim; a++ {
+		out.Lo.C[a] = max64(r.Lo.C[a], s.Lo.C[a])
+		out.Hi.C[a] = min64(r.Hi.C[a], s.Hi.C[a])
+	}
+	if out.Empty() {
+		return Rect{Dim: r.Dim, Lo: Pt1(1), Hi: Pt1(0)} // canonical empty
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s (their
+// bounding box, not their set union).
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	out := Rect{Dim: r.Dim}
+	for a := 0; a < r.Dim; a++ {
+		out.Lo.C[a] = min64(r.Lo.C[a], s.Lo.C[a])
+		out.Hi.C[a] = max64(r.Hi.C[a], s.Hi.C[a])
+	}
+	return out
+}
+
+// Subtract returns r \ s as a set of at most 2*Dim disjoint rectangles.
+// The result slice is appended to dst and returned.
+func (r Rect) Subtract(s Rect, dst []Rect) []Rect {
+	if r.Empty() {
+		return dst
+	}
+	inter := r.Intersect(s)
+	if inter.Empty() {
+		return append(dst, r)
+	}
+	// Peel off slabs on each axis outside the intersection, shrinking the
+	// remainder as we go so the produced rectangles are pairwise disjoint.
+	rem := r
+	for a := 0; a < r.Dim; a++ {
+		if rem.Lo.C[a] < inter.Lo.C[a] {
+			slab := rem
+			slab.Hi.C[a] = inter.Lo.C[a] - 1
+			dst = append(dst, slab)
+			rem.Lo.C[a] = inter.Lo.C[a]
+		}
+		if rem.Hi.C[a] > inter.Hi.C[a] {
+			slab := rem
+			slab.Lo.C[a] = inter.Hi.C[a] + 1
+			dst = append(dst, slab)
+			rem.Hi.C[a] = inter.Hi.C[a]
+		}
+	}
+	return dst
+}
+
+// Equal reports whether r and s contain exactly the same points.
+func (r Rect) Equal(s Rect) bool {
+	if r.Empty() && s.Empty() {
+		return true
+	}
+	if r.Empty() != s.Empty() || r.Dim != s.Dim {
+		return false
+	}
+	for a := 0; a < r.Dim; a++ {
+		if r.Lo.C[a] != s.Lo.C[a] || r.Hi.C[a] != s.Hi.C[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Each calls f for every point of r in row-major order. Iteration stops
+// early if f returns false; Each reports whether iteration ran to
+// completion.
+func (r Rect) Each(f func(Point) bool) bool {
+	if r.Empty() {
+		return true
+	}
+	p := r.Lo
+	for {
+		if !f(p) {
+			return false
+		}
+		// Advance odometer-style, lowest axis fastest.
+		a := 0
+		for a < r.Dim {
+			p.C[a]++
+			if p.C[a] <= r.Hi.C[a] {
+				break
+			}
+			p.C[a] = r.Lo.C[a]
+			a++
+		}
+		if a == r.Dim {
+			return true
+		}
+	}
+}
+
+// String formats the rectangle for debugging, e.g. "[0,0..3,4]".
+func (r Rect) String() string {
+	if r.Empty() {
+		return fmt.Sprintf("[empty d%d]", r.Dim)
+	}
+	lo := make([]string, r.Dim)
+	hi := make([]string, r.Dim)
+	for a := 0; a < r.Dim; a++ {
+		lo[a] = fmt.Sprint(r.Lo.C[a])
+		hi[a] = fmt.Sprint(r.Hi.C[a])
+	}
+	return "[" + strings.Join(lo, ",") + ".." + strings.Join(hi, ",") + "]"
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectEmpty(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{R1(0, 0), false},
+		{R1(0, -1), true},
+		{R1(5, 4), true},
+		{R2(0, 0, 3, 3), false},
+		{R2(0, 4, 3, 3), true},
+		{R3(0, 0, 0, 0, 0, 0), false},
+		{Rect{}, true}, // zero value has Dim 0
+	}
+	for _, c := range cases {
+		if got := c.r.Empty(); got != c.want {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRectVolume(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want int64
+	}{
+		{R1(0, 9), 10},
+		{R1(3, 3), 1},
+		{R1(3, 2), 0},
+		{R2(0, 0, 9, 4), 50},
+		{R3(0, 0, 0, 1, 1, 1), 8},
+	}
+	for _, c := range cases {
+		if got := c.r.Volume(); got != c.want {
+			t.Errorf("%v.Volume() = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R2(0, 0, 4, 4)
+	if !r.Contains(Pt2(0, 0)) || !r.Contains(Pt2(4, 4)) || !r.Contains(Pt2(2, 3)) {
+		t.Error("expected interior and corner points to be contained")
+	}
+	if r.Contains(Pt2(5, 0)) || r.Contains(Pt2(0, -1)) {
+		t.Error("expected exterior points to not be contained")
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	r := R2(0, 0, 9, 9)
+	if !r.ContainsRect(R2(2, 2, 5, 5)) {
+		t.Error("inner rect should be contained")
+	}
+	if !r.ContainsRect(r) {
+		t.Error("rect should contain itself")
+	}
+	if r.ContainsRect(R2(5, 5, 10, 10)) {
+		t.Error("overhanging rect should not be contained")
+	}
+	if !r.ContainsRect(R2(3, 3, 2, 2)) {
+		t.Error("empty rect should be contained in everything")
+	}
+	if (Rect{Dim: 2, Lo: Pt2(1, 1), Hi: Pt2(0, 0)}).ContainsRect(R2(0, 0, 0, 0)) {
+		t.Error("empty rect contains nothing")
+	}
+}
+
+func TestRectOverlapsIntersect(t *testing.T) {
+	a := R2(0, 0, 5, 5)
+	b := R2(3, 3, 8, 8)
+	if !a.Overlaps(b) {
+		t.Fatal("expected overlap")
+	}
+	got := a.Intersect(b)
+	if !got.Equal(R2(3, 3, 5, 5)) {
+		t.Errorf("Intersect = %v, want [3,3..5,5]", got)
+	}
+	c := R2(6, 0, 8, 2)
+	if a.Overlaps(c) {
+		t.Error("disjoint rects should not overlap")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("intersection of disjoint rects should be empty")
+	}
+}
+
+func TestRectSubtract(t *testing.T) {
+	// Subtracting the center of a 2-D rect yields a frame of 4 rects.
+	r := R2(0, 0, 9, 9)
+	s := R2(3, 3, 6, 6)
+	parts := r.Subtract(s, nil)
+	var vol int64
+	for i, p := range parts {
+		if p.Empty() {
+			t.Errorf("part %d empty: %v", i, p)
+		}
+		if p.Overlaps(s) {
+			t.Errorf("part %v overlaps subtracted %v", p, s)
+		}
+		for j := i + 1; j < len(parts); j++ {
+			if p.Overlaps(parts[j]) {
+				t.Errorf("parts %v and %v overlap", p, parts[j])
+			}
+		}
+		vol += p.Volume()
+	}
+	if want := r.Volume() - s.Volume(); vol != want {
+		t.Errorf("total volume %d, want %d", vol, want)
+	}
+
+	// Subtracting a non-overlapping rect returns the original.
+	parts = r.Subtract(R2(20, 20, 30, 30), nil)
+	if len(parts) != 1 || !parts[0].Equal(r) {
+		t.Errorf("Subtract(disjoint) = %v, want [r]", parts)
+	}
+
+	// Subtracting a covering rect yields nothing.
+	if parts := r.Subtract(R2(-1, -1, 10, 10), nil); len(parts) != 0 {
+		t.Errorf("Subtract(cover) = %v, want empty", parts)
+	}
+}
+
+func TestRectEach(t *testing.T) {
+	r := R2(1, 1, 3, 2)
+	var pts []Point
+	r.Each(func(p Point) bool {
+		pts = append(pts, p)
+		return true
+	})
+	want := []Point{Pt2(1, 1), Pt2(2, 1), Pt2(3, 1), Pt2(1, 2), Pt2(2, 2), Pt2(3, 2)}
+	if len(pts) != len(want) {
+		t.Fatalf("Each visited %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+
+	// Early termination.
+	n := 0
+	done := r.Each(func(Point) bool { n++; return n < 3 })
+	if done || n != 3 {
+		t.Errorf("early stop: done=%v n=%d", done, n)
+	}
+}
+
+func TestPointLess(t *testing.T) {
+	if !Pt2(5, 0).Less(Pt2(0, 1), 2) {
+		t.Error("row-major: y dominates in 2-D")
+	}
+	if !Pt2(0, 1).Less(Pt2(1, 1), 2) {
+		t.Error("x breaks ties")
+	}
+	if Pt2(1, 1).Less(Pt2(1, 1), 2) {
+		t.Error("point is not less than itself")
+	}
+}
+
+func randRect(rng *rand.Rand, dim int, span int64) Rect {
+	r := Rect{Dim: dim}
+	for a := 0; a < dim; a++ {
+		lo := rng.Int63n(span)
+		hi := lo + rng.Int63n(span/2+1)
+		r.Lo.C[a] = lo
+		r.Hi.C[a] = hi
+	}
+	return r
+}
+
+// Property: subtract partitions r into the part inside s and parts outside.
+func TestRectSubtractProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for dim := 1; dim <= 3; dim++ {
+		f := func() bool {
+			r := randRect(rng, dim, 20)
+			s := randRect(rng, dim, 20)
+			parts := r.Subtract(s, nil)
+			vol := r.Intersect(s).Volume()
+			for _, p := range parts {
+				if p.Overlaps(s) || !r.ContainsRect(p) {
+					return false
+				}
+				vol += p.Volume()
+			}
+			return vol == r.Volume()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("dim %d: %v", dim, err)
+		}
+	}
+}
+
+// Property: intersection is the set of points contained in both.
+func TestRectIntersectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		r := randRect(rng, 2, 12)
+		s := randRect(rng, 2, 12)
+		inter := r.Intersect(s)
+		ok := true
+		r.Union(s).Each(func(p Point) bool {
+			in := r.Contains(p) && s.Contains(p)
+			if in != inter.Contains(p) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if got := R2(0, 1, 2, 3).String(); got != "[0,1..2,3]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := R1(1, 0).String(); got != "[empty d1]" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestRect3D(t *testing.T) {
+	r := R3(0, 0, 0, 1, 2, 3)
+	if r.Volume() != 2*3*4 {
+		t.Errorf("3-D volume = %d", r.Volume())
+	}
+	if !r.Contains(Pt3(1, 2, 3)) || r.Contains(Pt3(2, 0, 0)) {
+		t.Error("3-D containment wrong")
+	}
+	var count int
+	r.Each(func(p Point) bool {
+		count++
+		return true
+	})
+	if count != 24 {
+		t.Errorf("3-D Each visited %d points", count)
+	}
+	// Subtract a corner cube.
+	parts := r.Subtract(R3(0, 0, 0, 0, 0, 0), nil)
+	var vol int64
+	for _, p := range parts {
+		vol += p.Volume()
+	}
+	if vol != 23 {
+		t.Errorf("3-D subtract volume = %d", vol)
+	}
+}
+
+func TestPointRect(t *testing.T) {
+	pr := PointRect(Pt2(3, 4), 2)
+	if pr.Volume() != 1 || !pr.Contains(Pt2(3, 4)) {
+		t.Errorf("PointRect = %v", pr)
+	}
+}
+
+func TestRectUnionWithEmpty(t *testing.T) {
+	e := R1(1, 0)
+	r := R1(3, 7)
+	if !r.Union(e).Equal(r) || !e.Union(r).Equal(r) {
+		t.Error("union with empty should be identity")
+	}
+}

@@ -1,0 +1,146 @@
+// Package graph provides analytics over discovered dependence DAGs: level
+// structure (the parallelism profile), critical paths, and Graphviz
+// export. The inspection CLI and tests use it to answer "how much
+// parallelism did the analysis expose?".
+package graph
+
+import (
+	"fmt"
+	"io"
+
+	"visibility/internal/core"
+)
+
+// DAG is a dependence graph over a task stream: Deps[i] lists the direct
+// predecessors of task i (task IDs equal positions).
+type DAG struct {
+	Tasks []*core.Task
+	Deps  [][]int
+}
+
+// FromStream assembles a DAG from analyzer results, merging in future
+// edges (which the runtime enforces alongside analyzer dependences).
+func FromStream(tasks []*core.Task, deps map[int][]int) *DAG {
+	d := &DAG{Tasks: tasks, Deps: make([][]int, len(tasks))}
+	for i, t := range tasks {
+		merged := append(append([]int{}, deps[t.ID]...), t.FutureDeps...)
+		d.Deps[i] = core.DedupDeps(merged)
+	}
+	return d
+}
+
+// Edges returns the total number of dependence edges.
+func (d *DAG) Edges() int {
+	n := 0
+	for _, ds := range d.Deps {
+		n += len(ds)
+	}
+	return n
+}
+
+// Levels assigns each task its earliest schedulable level (longest path
+// from a root) and returns the per-task levels.
+func (d *DAG) Levels() []int {
+	levels := make([]int, len(d.Tasks))
+	for i := range d.Tasks {
+		for _, p := range d.Deps[i] {
+			if levels[p]+1 > levels[i] {
+				levels[i] = levels[p] + 1
+			}
+		}
+	}
+	return levels
+}
+
+// Widths returns the number of tasks at each level — the parallelism
+// profile of the DAG.
+func (d *DAG) Widths() []int {
+	levels := d.Levels()
+	max := 0
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	widths := make([]int, max+1)
+	for _, l := range levels {
+		widths[l]++
+	}
+	return widths
+}
+
+// CriticalPath returns one longest chain of task IDs.
+func (d *DAG) CriticalPath() []int {
+	levels := d.Levels()
+	// Find a task on the deepest level and walk back through a
+	// predecessor one level shallower each step.
+	end, deepest := -1, -1
+	for i, l := range levels {
+		if l > deepest {
+			deepest, end = l, i
+		}
+	}
+	if end == -1 {
+		return nil
+	}
+	var rev []int
+	for cur := end; ; {
+		rev = append(rev, cur)
+		if levels[cur] == 0 {
+			break
+		}
+		next := -1
+		for _, p := range d.Deps[cur] {
+			if levels[p] == levels[cur]-1 {
+				next = p
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		cur = next
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// MaxWidth returns the widest level.
+func (d *DAG) MaxWidth() int {
+	w := 0
+	for _, x := range d.Widths() {
+		if x > w {
+			w = x
+		}
+	}
+	return w
+}
+
+// AverageParallelism returns tasks divided by levels — the speedup an
+// infinitely wide machine could extract.
+func (d *DAG) AverageParallelism() float64 {
+	if len(d.Tasks) == 0 {
+		return 0
+	}
+	return float64(len(d.Tasks)) / float64(len(d.Widths()))
+}
+
+// WriteDOT exports the DAG in Graphviz format.
+func (d *DAG) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph deps {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB; node [shape=box, fontsize=10];")
+	for i, t := range d.Tasks {
+		fmt.Fprintf(w, "  t%d [label=%q];\n", i, t.String())
+	}
+	for i, ds := range d.Deps {
+		for _, p := range ds {
+			fmt.Fprintf(w, "  t%d -> t%d;\n", p, i)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,344 @@
+// Package harness runs the paper's experiments (§8): it instantiates a
+// benchmark application at a machine size, drives one of the coherence
+// algorithms over the simulated cluster with or without dynamic control
+// replication, and measures the two quantities the paper plots for every
+// application — initialization time (application start through the end of
+// the first main-loop iteration, Figures 12-14) and steady-state weak
+// scaling throughput per node (Figures 15-17). Output formats match the
+// artifact's parse_results.py TSV.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"visibility/internal/algo"
+	"visibility/internal/apps"
+	"visibility/internal/cluster"
+	"visibility/internal/core"
+	"visibility/internal/dist"
+	"visibility/internal/region"
+	"visibility/internal/trace"
+)
+
+// Config selects one experiment cell.
+type Config struct {
+	App       apps.Builder
+	AppName   string
+	Algorithm string // algo registry name
+	DCR       bool
+	Nodes     int
+	// MeasureIters is the number of steady-state iterations timed after
+	// the initialization iteration. Zero selects a default of 3.
+	MeasureIters int
+	// Tracing enables dynamic tracing (Lee et al. [15]): each steady-state
+	// iteration is bracketed as a trace, so the first is recorded and the
+	// rest replay memoized analysis. The paper disables tracing to measure
+	// the coherence algorithms themselves (§8); enabling it here measures
+	// how much of the steady-state gap tracing recovers.
+	Tracing bool
+	// Mapper overrides task placement (default: owner-computes, the
+	// paper's mapping). Locality-oblivious mappers quantify how much the
+	// implicit-communication machinery has to move.
+	Mapper dist.Mapper
+}
+
+// Result is one measured experiment cell.
+type Result struct {
+	System            string // e.g. "raycast_dcr", matching the artifact naming
+	App               string
+	Nodes             int
+	InitTime          float64 // seconds, Figures 12-14
+	IterTime          float64 // seconds per steady-state iteration
+	ThroughputPerNode float64 // units/s/node, Figures 15-17
+	UnitName          string
+	Launches          int
+	Stats             core.Stats
+	Messages          int64
+	MessageBytes      int64
+	// ExecUtilization and UtilUtilization are the mean busy fractions of
+	// the execution (GPU) and utility (analysis) processors over the run.
+	ExecUtilization float64
+	UtilUtilization float64
+}
+
+// SystemName returns the artifact-style configuration name.
+func SystemName(algorithm string, dcr bool) string {
+	if dcr {
+		return algorithm + "_dcr"
+	}
+	return algorithm + "_nodcr"
+}
+
+// TracedSystemName returns the configuration name with tracing noted.
+func TracedSystemName(algorithm string, dcr, tracing bool) string {
+	n := SystemName(algorithm, dcr)
+	if tracing {
+		n += "_trace"
+	}
+	return n
+}
+
+// Run executes one experiment cell.
+func Run(cfg Config) (*Result, error) {
+	newAn, err := algo.Lookup(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("harness: invalid node count %d", cfg.Nodes)
+	}
+	iters := cfg.MeasureIters
+	if iters == 0 {
+		iters = 3
+	}
+
+	inst := cfg.App(cfg.Nodes)
+	machine := cluster.New(cluster.DefaultConfig(cfg.Nodes))
+	owner := dist.OwnerByPartition(inst.Owned, cfg.Nodes)
+
+	var tracer *trace.Tracer
+	buildAnalyzer := dist.NewAnalyzerFunc(newAn)
+	if cfg.Tracing {
+		buildAnalyzer = func(tree *region.Tree, opts core.Options) core.Analyzer {
+			tracer = trace.New(newAn(tree, opts), opts)
+			return tracer
+		}
+	}
+	driver := dist.New(machine, inst.Tree, buildAnalyzer, owner, dist.DefaultConfig(cfg.DCR))
+	stream := core.NewStream(inst.Tree)
+
+	mapper := cfg.Mapper
+	if mapper == nil {
+		mapper = dist.OwnerMapper{}
+	}
+	launches := 0
+	emit := func(iter int) {
+		if tracer != nil && iter > 0 {
+			tracer.Begin(0)
+			defer tracer.End()
+		}
+		for _, l := range inst.Emit(stream, iter) {
+			driver.Launch(l.Task, mapper.Place(l.Task, l.Node, cfg.Nodes), l.Duration)
+			launches++
+		}
+	}
+
+	// Initialization phase: application setup plus everything through the
+	// end of the first main-loop iteration (§8).
+	if inst.EmitInit != nil {
+		for _, l := range inst.EmitInit(stream) {
+			driver.Launch(l.Task, mapper.Place(l.Task, l.Node, cfg.Nodes), l.Duration)
+			launches++
+		}
+	}
+	emit(0)
+	initTime := driver.Barrier()
+
+	// Steady state. With tracing, the first steady iteration records and
+	// is excluded from the timed window so the replayed regime is what is
+	// measured (Legion measures traced steady state the same way).
+	if tracer != nil {
+		emit(1)
+		initTime = driver.Barrier()
+	}
+	first := 1
+	if tracer != nil {
+		first = 2
+	}
+	for k := 0; k < iters; k++ {
+		emit(first + k)
+	}
+	total := driver.Barrier()
+	iterTime := (total - initTime) / float64(iters)
+
+	msgs, bytes := machine.Messages()
+	var execBusy, utilBusy float64
+	for n := 0; n < cfg.Nodes; n++ {
+		execBusy += machine.NodeBusy(n)
+		utilBusy += machine.UtilBusy(n)
+	}
+	span := total * float64(cfg.Nodes)
+	return &Result{
+		System:            TracedSystemName(cfg.Algorithm, cfg.DCR, cfg.Tracing),
+		App:               cfg.AppName,
+		Nodes:             cfg.Nodes,
+		InitTime:          initTime,
+		IterTime:          iterTime,
+		ThroughputPerNode: inst.UnitsPerNode / iterTime,
+		UnitName:          inst.UnitName,
+		Launches:          launches,
+		Stats:             *driver.Analyzer().Stats(),
+		Messages:          msgs,
+		MessageBytes:      bytes,
+		ExecUtilization:   execBusy / span,
+		UtilUtilization:   utilBusy / span,
+	}, nil
+}
+
+// PaperConfigs returns the five configurations of every figure in §8:
+// ray casting and Warnock's algorithm each with and without DCR, and the
+// painter's algorithm without DCR (its implementation predates a stable
+// DCR, as the paper notes).
+func PaperConfigs() []struct {
+	Algorithm string
+	DCR       bool
+} {
+	return []struct {
+		Algorithm string
+		DCR       bool
+	}{
+		{"raycast", true},
+		{"raycast", false},
+		{"warnock", true},
+		{"warnock", false},
+		{"paint", false},
+	}
+}
+
+// NodeSweep returns the power-of-two node counts of the paper's plots up
+// to max (1..512 on Piz Daint).
+func NodeSweep(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Sweep runs all paper configurations for one app over a node sweep.
+func Sweep(app apps.Builder, appName string, maxNodes, iters int) ([]*Result, error) {
+	return SweepTraced(app, appName, maxNodes, iters, false)
+}
+
+// SweepTraced is Sweep with dynamic tracing optionally enabled for every
+// configuration. Cells are independent simulations, so they run in
+// parallel across the host's CPUs; results are returned in deterministic
+// (configuration-major) order.
+func SweepTraced(app apps.Builder, appName string, maxNodes, iters int, tracing bool) ([]*Result, error) {
+	var cells []Config
+	for _, cfg := range PaperConfigs() {
+		for _, n := range NodeSweep(maxNodes) {
+			cells = append(cells, Config{
+				App: app, AppName: appName,
+				Algorithm: cfg.Algorithm, DCR: cfg.DCR,
+				Nodes: n, MeasureIters: iters, Tracing: tracing,
+			})
+		}
+	}
+	out := make([]*Result, len(cells))
+	errs := make([]error, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				out[i], errs[i] = Run(cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteTSV writes results in the artifact's parse_results.py format:
+// system, nodes, procs_per_node, rep, init_time, elapsed_time. The
+// simulation is deterministic, so reps repeats identical rows the way the
+// artifact's five repetitions appear for a stable run.
+func WriteTSV(w io.Writer, results []*Result, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	if _, err := fmt.Fprintln(w, "system\tnodes\tprocs_per_node\trep\tinit_time\telapsed_time"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for rep := 0; rep < reps; rep++ {
+			if _, err := fmt.Fprintf(w, "%s\t%d\t1\t%d\t%.6f\t%.6f\n",
+				r.System, r.Nodes, rep, r.InitTime, r.IterTime); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFigure writes one paper figure as aligned columns: one row per node
+// count, one column per configuration. metric selects "init"
+// (Figures 12-14) or "weak" (Figures 15-17).
+func WriteFigure(w io.Writer, results []*Result, metric string) error {
+	order := []string{
+		"raycast_dcr", "raycast_nodcr", "warnock_dcr", "warnock_nodcr", "paint_nodcr",
+		"raycast_dcr_trace", "raycast_nodcr_trace", "warnock_dcr_trace", "warnock_nodcr_trace", "paint_nodcr_trace",
+	}
+	byCell := make(map[string]map[int]*Result)
+	nodesSet := make(map[int]bool)
+	unit := ""
+	for _, r := range results {
+		if byCell[r.System] == nil {
+			byCell[r.System] = make(map[int]*Result)
+		}
+		byCell[r.System][r.Nodes] = r
+		nodesSet[r.Nodes] = true
+		unit = r.UnitName
+	}
+	var nodes []int
+	for n := 1; n <= 1<<20; n *= 2 {
+		if nodesSet[n] {
+			nodes = append(nodes, n)
+		}
+	}
+
+	label := "init time (s)"
+	if metric == "weak" {
+		label = fmt.Sprintf("throughput per node (%s/s)", unit)
+	}
+	fmt.Fprintf(w, "# %s\n", label)
+	fmt.Fprintf(w, "%-7s", "nodes")
+	for _, sys := range order {
+		if byCell[sys] != nil {
+			fmt.Fprintf(w, " %14s", strings.ReplaceAll(sys, "_", ","))
+		}
+	}
+	fmt.Fprintln(w)
+	for _, n := range nodes {
+		fmt.Fprintf(w, "%-7d", n)
+		for _, sys := range order {
+			cell := byCell[sys]
+			if cell == nil {
+				continue
+			}
+			r, ok := cell[n]
+			if !ok {
+				fmt.Fprintf(w, " %14s", "-")
+				continue
+			}
+			v := r.InitTime
+			if metric == "weak" {
+				v = r.ThroughputPerNode
+			}
+			fmt.Fprintf(w, " %14.4g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

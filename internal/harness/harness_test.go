@@ -1,0 +1,277 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"visibility/internal/apps"
+	"visibility/internal/apps/circuit"
+	"visibility/internal/apps/pennant"
+	"visibility/internal/apps/stencil"
+	"visibility/internal/dist"
+	"visibility/internal/harness"
+)
+
+func run(t *testing.T, app apps.Builder, name, algorithm string, dcr bool, nodes int) *harness.Result {
+	t.Helper()
+	r, err := harness.Run(harness.Config{
+		App: app, AppName: name, Algorithm: algorithm, DCR: dcr,
+		Nodes: nodes, MeasureIters: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunProducesSaneNumbers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		app  apps.Builder
+		unit string
+	}{
+		{"stencil", stencil.New, "points"},
+		{"circuit", circuit.New, "wires"},
+		{"pennant", pennant.New, "zones"},
+	} {
+		r := run(t, tc.app, tc.name, "raycast", true, 4)
+		if r.InitTime <= 0 || r.IterTime <= 0 || r.ThroughputPerNode <= 0 {
+			t.Errorf("%s: non-positive measurements: %+v", tc.name, r)
+		}
+		if r.UnitName != tc.unit {
+			t.Errorf("%s: unit = %q, want %q", tc.name, r.UnitName, tc.unit)
+		}
+		if r.Launches == 0 || r.Stats.Launches == 0 {
+			t.Errorf("%s: no launches recorded", tc.name)
+		}
+		if r.System != "raycast_dcr" {
+			t.Errorf("%s: system = %q", tc.name, r.System)
+		}
+	}
+}
+
+func TestUnknownAlgorithmFails(t *testing.T) {
+	_, err := harness.Run(harness.Config{App: stencil.New, AppName: "stencil", Algorithm: "zbuffer", Nodes: 1})
+	if err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	_, err = harness.Run(harness.Config{App: stencil.New, AppName: "stencil", Algorithm: "raycast", Nodes: 0})
+	if err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+}
+
+// TestPaperShapesSmall asserts the headline qualitative results of §8 at a
+// small scale: with DCR, ray casting beats Warnock's algorithm on
+// initialization; without DCR, the painter's algorithm has the worst
+// steady-state throughput at scale.
+func TestPaperShapesSmall(t *testing.T) {
+	nodes := 32
+	rcInit := run(t, circuit.New, "circuit", "raycast", true, nodes).InitTime
+	waInit := run(t, circuit.New, "circuit", "warnock", true, nodes).InitTime
+	if rcInit >= waInit {
+		t.Errorf("raycast init (%v) should beat warnock init (%v) at %d nodes", rcInit, waInit, nodes)
+	}
+
+	nodes = 128
+	rc := run(t, circuit.New, "circuit", "raycast", false, nodes).ThroughputPerNode
+	pa := run(t, circuit.New, "circuit", "paint", false, nodes).ThroughputPerNode
+	if pa >= rc {
+		t.Errorf("painter throughput (%v) should trail raycast (%v) at %d nodes", pa, rc, nodes)
+	}
+
+	// DCR must help ray casting at scale.
+	dcr := run(t, circuit.New, "circuit", "raycast", true, nodes).ThroughputPerNode
+	if dcr <= rc {
+		t.Errorf("DCR throughput (%v) should beat no-DCR (%v)", dcr, rc)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, circuit.New, "circuit", "warnock", true, 8)
+	b := run(t, circuit.New, "circuit", "warnock", true, 8)
+	if a.InitTime != b.InitTime || a.IterTime != b.IterTime {
+		t.Errorf("simulation is not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSweepAndFormats(t *testing.T) {
+	results, err := harness.Sweep(stencil.New, "stencil", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 configurations × 3 node counts (1, 2, 4).
+	if len(results) != 15 {
+		t.Fatalf("sweep produced %d results, want 15", len(results))
+	}
+
+	var tsv strings.Builder
+	if err := harness.WriteTSV(&tsv, results, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tsv.String()), "\n")
+	if len(lines) != 1+15*2 {
+		t.Errorf("TSV rows = %d, want %d", len(lines), 1+30)
+	}
+	if !strings.HasPrefix(lines[0], "system\tnodes\tprocs_per_node\trep\tinit_time\telapsed_time") {
+		t.Errorf("TSV header wrong: %q", lines[0])
+	}
+	if !strings.Contains(tsv.String(), "raycast_dcr\t2\t1\t1\t") {
+		t.Error("TSV missing expected row")
+	}
+
+	var fig strings.Builder
+	if err := harness.WriteFigure(&fig, results, "weak"); err != nil {
+		t.Fatal(err)
+	}
+	out := fig.String()
+	for _, want := range []string{"throughput per node (points/s)", "raycast,dcr", "paint,nodcr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	var figInit strings.Builder
+	if err := harness.WriteFigure(&figInit, results, "init"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(figInit.String(), "init time (s)") {
+		t.Error("init figure missing label")
+	}
+}
+
+func TestNodeSweep(t *testing.T) {
+	got := harness.NodeSweep(512)
+	want := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	if len(got) != len(want) {
+		t.Fatalf("NodeSweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NodeSweep = %v", got)
+		}
+	}
+}
+
+func TestSystemName(t *testing.T) {
+	if harness.SystemName("raycast", true) != "raycast_dcr" {
+		t.Error("dcr name wrong")
+	}
+	if harness.SystemName("paint", false) != "paint_nodcr" {
+		t.Error("nodcr name wrong")
+	}
+}
+
+// TestTracingRecoversThroughput verifies the §8 caveat quantitatively:
+// with tracing enabled, even the no-DCR configuration recovers most of its
+// throughput at a scale where untraced analysis is the bottleneck.
+func TestTracingRecoversThroughput(t *testing.T) {
+	nodes := 128
+	untraced := run(t, circuit.New, "circuit", "raycast", false, nodes)
+	traced, err := harness.Run(harness.Config{
+		App: circuit.New, AppName: "circuit", Algorithm: "raycast",
+		DCR: false, Nodes: nodes, MeasureIters: 2, Tracing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.System != "raycast_nodcr_trace" {
+		t.Errorf("system = %q", traced.System)
+	}
+	if traced.ThroughputPerNode < 2*untraced.ThroughputPerNode {
+		t.Errorf("tracing should at least double no-DCR throughput at %d nodes: traced=%v untraced=%v",
+			nodes, traced.ThroughputPerNode, untraced.ThroughputPerNode)
+	}
+}
+
+// TestOwnerMappingBeatsRandom quantifies locality: the owner-computes
+// mapping (the paper's) must beat a random mapping, which moves every
+// piece's data across the network.
+func TestOwnerMappingBeatsRandom(t *testing.T) {
+	nodes := 16
+	owner, err := harness.Run(harness.Config{
+		App: stencil.New, AppName: "stencil", Algorithm: "raycast", DCR: true,
+		Nodes: nodes, MeasureIters: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := harness.Run(harness.Config{
+		App: stencil.New, AppName: "stencil", Algorithm: "raycast", DCR: true,
+		Nodes: nodes, MeasureIters: 2, Mapper: dist.NewRandomMapper(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.ThroughputPerNode >= owner.ThroughputPerNode {
+		t.Errorf("random mapping (%v) should not beat owner mapping (%v)",
+			random.ThroughputPerNode, owner.ThroughputPerNode)
+	}
+	if random.MessageBytes <= owner.MessageBytes {
+		t.Errorf("random mapping should move more bytes: %d vs %d",
+			random.MessageBytes, owner.MessageBytes)
+	}
+}
+
+// TestPennantFuturesFixesDtFunnel compares the two pennant variants: at
+// scale, routing the global timestep through futures (as real PENNANT
+// does) must outperform routing it through reductions on a single
+// control element.
+func TestPennantFuturesFixesDtFunnel(t *testing.T) {
+	nodes := 256
+	regionDT := run(t, pennant.New, "pennant", "raycast", true, nodes)
+	futures, err := harness.Run(harness.Config{
+		App: pennant.NewFutures, AppName: "pennant-futures",
+		Algorithm: "raycast", DCR: true, Nodes: nodes, MeasureIters: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if futures.ThroughputPerNode <= regionDT.ThroughputPerNode {
+		t.Errorf("futures dt (%v) should beat region dt (%v) at %d nodes",
+			futures.ThroughputPerNode, regionDT.ThroughputPerNode, nodes)
+	}
+}
+
+func TestWriteChart(t *testing.T) {
+	results, err := harness.Sweep(stencil.New, "stencil", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"init", "weak"} {
+		var b strings.Builder
+		if err := harness.WriteChart(&b, results, metric); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		for _, want := range []string{"log-log", "R=raycast_dcr", "P=paint_nodcr", "nodes"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s chart missing %q:\n%s", metric, want, out)
+			}
+		}
+		// Every node count appears on the axis.
+		for _, n := range []string{"1", "2", "4"} {
+			if !strings.Contains(out, n) {
+				t.Errorf("%s chart missing node label %s", metric, n)
+			}
+		}
+	}
+	// Empty input is a no-op.
+	var b strings.Builder
+	if err := harness.WriteChart(&b, nil, "weak"); err != nil || b.Len() != 0 {
+		t.Errorf("empty chart: err=%v out=%q", err, b.String())
+	}
+}
+
+func TestUtilizationMetrics(t *testing.T) {
+	r := run(t, circuit.New, "circuit", "raycast", true, 8)
+	if r.ExecUtilization <= 0 || r.ExecUtilization > 1 {
+		t.Errorf("ExecUtilization = %v", r.ExecUtilization)
+	}
+	if r.UtilUtilization <= 0 || r.UtilUtilization > 1 {
+		t.Errorf("UtilUtilization = %v", r.UtilUtilization)
+	}
+	// Kernel work dominates analysis for raycast+DCR.
+	if r.ExecUtilization < r.UtilUtilization {
+		t.Errorf("expected exec-bound run: exec=%v util=%v", r.ExecUtilization, r.UtilUtilization)
+	}
+}

@@ -1,0 +1,334 @@
+// Package index implements sparse index spaces: sets of n-dimensional
+// integer points stored as canonical lists of disjoint rectangles.
+//
+// Index spaces are the substrate for content-based coherence (paper §1,
+// §3.2): a region names a set of points, regions may alias arbitrarily, and
+// the analyses must decide emptiness of intersections, compute differences,
+// and overlay updates (the ⊕ operator of §5). All of those are provided
+// here as immutable-value operations.
+//
+// Canonical form: rectangles are decomposed into bands along the highest
+// axis (splitting at every distinct boundary), each band's lower-dimensional
+// cross-section is canonicalized recursively, and adjacent bands with
+// identical cross-sections are re-merged. Two spaces contain the same points
+// if and only if their canonical rectangle lists are identical, so Equal is
+// a cheap structural comparison.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"visibility/internal/geometry"
+)
+
+// Space is an immutable sparse set of points. The zero value is the empty
+// 0-dimensional space; use Empty for a typed empty space.
+type Space struct {
+	dim   int
+	rects []geometry.Rect // canonical: disjoint, sorted, band-decomposed
+}
+
+// Empty returns the empty space of the given dimension.
+func Empty(dim int) Space { return Space{dim: dim} }
+
+// FromRect returns the space containing exactly the points of r.
+func FromRect(r geometry.Rect) Space {
+	if r.Empty() {
+		return Space{dim: r.Dim}
+	}
+	return Space{dim: r.Dim, rects: []geometry.Rect{r}}
+}
+
+// FromRects returns the space containing the union of the given rectangles,
+// which may overlap. All rectangles must share the given dimension.
+func FromRects(dim int, rs ...geometry.Rect) Space {
+	in := make([]geometry.Rect, 0, len(rs))
+	for _, r := range rs {
+		if r.Dim != dim {
+			panic(fmt.Sprintf("index: rect dim %d != space dim %d", r.Dim, dim))
+		}
+		if !r.Empty() {
+			in = append(in, r)
+		}
+	}
+	return Space{dim: dim, rects: canon(in, dim)}
+}
+
+// FromPoints returns the space containing exactly the given points.
+func FromPoints(dim int, ps ...geometry.Point) Space {
+	rs := make([]geometry.Rect, len(ps))
+	for i, p := range ps {
+		rs[i] = geometry.PointRect(p, dim)
+	}
+	return FromRects(dim, rs...)
+}
+
+// Dim returns the dimensionality of the space.
+func (s Space) Dim() int { return s.dim }
+
+// IsEmpty reports whether the space contains no points.
+func (s Space) IsEmpty() bool { return len(s.rects) == 0 }
+
+// NumRects returns the number of rectangles in the canonical decomposition.
+func (s Space) NumRects() int { return len(s.rects) }
+
+// Rects returns the canonical rectangle decomposition. The returned slice
+// must not be modified.
+func (s Space) Rects() []geometry.Rect { return s.rects }
+
+// Volume returns the number of points in the space.
+func (s Space) Volume() int64 {
+	var v int64
+	for _, r := range s.rects {
+		v += r.Volume()
+	}
+	return v
+}
+
+// Bounds returns the bounding rectangle of the space (empty if the space is
+// empty).
+func (s Space) Bounds() geometry.Rect {
+	if len(s.rects) == 0 {
+		return geometry.Rect{Dim: s.dim, Lo: geometry.Pt1(1), Hi: geometry.Pt1(0)}
+	}
+	b := s.rects[0]
+	for _, r := range s.rects[1:] {
+		b = b.Union(r)
+	}
+	return b
+}
+
+// Contains reports whether p is in the space.
+func (s Space) Contains(p geometry.Point) bool {
+	for _, r := range s.rects {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether s and o share at least one point. This is the
+// hot-path emptiness test of content-based dependence analysis (§3.2) and
+// short-circuits without building the intersection.
+func (s Space) Overlaps(o Space) bool {
+	for _, a := range s.rects {
+		for _, b := range o.rects {
+			if a.Overlaps(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Intersect returns the set of points in both s and o (the X/Y operator of
+// §5 applied to domains).
+func (s Space) Intersect(o Space) Space {
+	var out []geometry.Rect
+	for _, a := range s.rects {
+		for _, b := range o.rects {
+			if inter := a.Intersect(b); !inter.Empty() {
+				out = append(out, inter)
+			}
+		}
+	}
+	return Space{dim: s.dim, rects: canon(out, s.dim)}
+}
+
+// Subtract returns the set of points in s but not in o (the X\Y operator of
+// §5 applied to domains).
+func (s Space) Subtract(o Space) Space {
+	cur := s.rects
+	for _, b := range o.rects {
+		var next []geometry.Rect
+		for _, a := range cur {
+			next = a.Subtract(b, next)
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return Space{dim: s.dim, rects: canon(cur, s.dim)}
+}
+
+// Union returns the set of points in s or o.
+func (s Space) Union(o Space) Space {
+	if s.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return s
+	}
+	all := make([]geometry.Rect, 0, len(s.rects)+len(o.rects))
+	all = append(all, s.rects...)
+	all = append(all, o.rects...)
+	return Space{dim: s.dim, rects: canon(all, s.dim)}
+}
+
+// Covers reports whether every point of o is in s.
+func (s Space) Covers(o Space) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	if s.IsEmpty() {
+		return false
+	}
+	return o.Subtract(s).IsEmpty()
+}
+
+// Equal reports whether s and o contain exactly the same points.
+func (s Space) Equal(o Space) bool {
+	if s.dim != o.dim || len(s.rects) != len(o.rects) {
+		return false
+	}
+	for i := range s.rects {
+		if !s.rects[i].Equal(o.rects[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Each calls f for every point of the space; iteration stops early if f
+// returns false. Within the canonical form, rectangles are visited in band
+// order and each rectangle in row-major order.
+func (s Space) Each(f func(geometry.Point) bool) {
+	for _, r := range s.rects {
+		if !r.Each(f) {
+			return
+		}
+	}
+}
+
+// Key returns a compact string uniquely identifying the point set; equal
+// spaces (by Equal) have equal keys. Useful as a map key for memoization.
+func (s Space) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "d%d", s.dim)
+	for _, r := range s.rects {
+		b.WriteByte(';')
+		for a := 0; a < s.dim; a++ {
+			fmt.Fprintf(&b, "%d,%d,", r.Lo.C[a], r.Hi.C[a])
+		}
+	}
+	return b.String()
+}
+
+// String formats the space for debugging.
+func (s Space) String() string {
+	if s.IsEmpty() {
+		return fmt.Sprintf("{empty d%d}", s.dim)
+	}
+	parts := make([]string, len(s.rects))
+	for i, r := range s.rects {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// canon converts an arbitrary (possibly overlapping) rectangle list into the
+// canonical band decomposition described in the package comment.
+func canon(rs []geometry.Rect, dim int) []geometry.Rect {
+	if len(rs) == 0 {
+		return nil
+	}
+	if dim == 1 {
+		return canon1(rs)
+	}
+	axis := dim - 1
+
+	// Collect distinct band boundaries along the highest axis.
+	bounds := make([]int64, 0, 2*len(rs))
+	for _, r := range rs {
+		bounds = append(bounds, r.Lo.C[axis], r.Hi.C[axis]+1)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	bounds = dedup64(bounds)
+
+	type band struct {
+		lo, hi int64           // inclusive range on axis
+		cross  []geometry.Rect // canonical (dim-1) cross-section
+	}
+	var bands []band
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		lo, hi := bounds[bi], bounds[bi+1]-1
+		var cross []geometry.Rect
+		for _, r := range rs {
+			if r.Lo.C[axis] <= lo && hi <= r.Hi.C[axis] {
+				// Project r to dim-1 by dropping the highest axis.
+				p := r
+				p.Dim = dim - 1
+				p.Lo.C[axis] = 0
+				p.Hi.C[axis] = 0
+				cross = append(cross, p)
+			}
+		}
+		if len(cross) == 0 {
+			continue
+		}
+		cross = canon(cross, dim-1)
+		// Merge with previous band when contiguous and identical.
+		if n := len(bands); n > 0 && bands[n-1].hi+1 == lo && sameRects(bands[n-1].cross, cross) {
+			bands[n-1].hi = hi
+			continue
+		}
+		bands = append(bands, band{lo: lo, hi: hi, cross: cross})
+	}
+
+	var out []geometry.Rect
+	for _, b := range bands {
+		for _, c := range b.cross {
+			r := c
+			r.Dim = dim
+			r.Lo.C[axis] = b.lo
+			r.Hi.C[axis] = b.hi
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// canon1 merges 1-D intervals into a sorted list of disjoint,
+// non-adjacent intervals.
+func canon1(rs []geometry.Rect) []geometry.Rect {
+	sorted := make([]geometry.Rect, len(rs))
+	copy(sorted, rs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo.C[0] < sorted[j].Lo.C[0] })
+	var out []geometry.Rect
+	for _, r := range sorted {
+		if n := len(out); n > 0 && r.Lo.C[0] <= out[n-1].Hi.C[0]+1 {
+			if r.Hi.C[0] > out[n-1].Hi.C[0] {
+				out[n-1].Hi.C[0] = r.Hi.C[0]
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sameRects(a, b []geometry.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func dedup64(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,465 @@
+// Package raycast implements the ray-casting coherence algorithm (paper
+// §7), the algorithm in production use by Legion. It keeps Warnock-style
+// equivalence sets, but a task writing a region R creates a single fresh
+// equivalence set for R and prunes every set R occludes (dominating_write,
+// Figure 11), so equivalence sets coalesce as well as refine and the
+// steady-state population stays small.
+//
+// Because coalescing destroys the monotone refinement tree Warnock's
+// algorithm uses as its BVH, ray casting instead derives its acceleration
+// structure from a disjoint-complete partition of the root region chosen by
+// a heuristic from the partitions tasks actually use: equivalence sets are
+// stored in per-piece buckets, with a static BVH over the piece bounding
+// boxes to find the buckets a region overlaps. If the application migrates
+// to a different disjoint-complete partition, the sets are re-bucketed; if
+// no such partition exists, a K-d decomposition of the root bounds is used
+// instead (§7.1).
+package raycast
+
+import (
+	"visibility/internal/bvh"
+	"visibility/internal/core"
+	"visibility/internal/field"
+	"visibility/internal/index"
+	"visibility/internal/privilege"
+	"visibility/internal/region"
+)
+
+// migrateAfter is how many consecutive launches must use a different
+// disjoint-complete partition before the equivalence sets are re-bucketed.
+const migrateAfter = 8
+
+// RayCast is the ray-casting coherence analyzer of §7.
+type RayCast struct {
+	tree  *region.Tree
+	opts  core.Options
+	state map[field.ID]*fieldState
+	stats core.Stats
+}
+
+// New creates a ray-casting analyzer for tree.
+func New(tree *region.Tree, opts core.Options) *RayCast {
+	return &RayCast{tree: tree, opts: opts.Normalize(), state: make(map[field.ID]*fieldState)}
+}
+
+// Name implements core.Analyzer.
+func (rc *RayCast) Name() string { return "raycast" }
+
+// Stats implements core.Analyzer.
+func (rc *RayCast) Stats() *core.Stats { return &rc.stats }
+
+type eqset struct {
+	id     int
+	pts    index.Space
+	hist   []core.Entry
+	bucket int  // owning DCP piece index; -1 in K-d mode
+	dead   bool // replaced by refinement or pruned by a dominating write
+}
+
+type fieldState struct {
+	nextID int
+
+	// Disjoint-complete-partition mode.
+	dcp     *region.Partition
+	pieces  *bvh.Tree // over piece bounding boxes
+	buckets [][]*eqset
+
+	// K-d fallback mode (dcp == nil).
+	kd     *bvh.KD
+	kdSets map[int]*eqset
+
+	// Migration heuristic state.
+	misses    int
+	candidate *region.Partition
+}
+
+// EquivalenceSets returns the number of live equivalence sets for field f.
+func (rc *RayCast) EquivalenceSets(f field.ID) int {
+	fs, ok := rc.state[f]
+	if !ok {
+		return 1
+	}
+	if fs.dcp == nil {
+		return len(fs.kdSets)
+	}
+	n := 0
+	for _, b := range fs.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// SetSpaces returns the point sets of the live equivalence sets for field
+// f, for invariant checks in tests.
+func (rc *RayCast) SetSpaces(f field.ID) []index.Space {
+	fs, ok := rc.state[f]
+	if !ok {
+		return []index.Space{rc.tree.Root.Space}
+	}
+	var out []index.Space
+	if fs.dcp == nil {
+		for _, s := range fs.kdSets {
+			out = append(out, s.pts)
+		}
+		return out
+	}
+	for _, b := range fs.buckets {
+		for _, s := range b {
+			out = append(out, s.pts)
+		}
+	}
+	return out
+}
+
+// CurrentPartition returns the disjoint-complete partition currently
+// defining field f's buckets, or nil when the K-d fallback is active.
+func (rc *RayCast) CurrentPartition(f field.ID) *region.Partition {
+	if fs, ok := rc.state[f]; ok {
+		return fs.dcp
+	}
+	return nil
+}
+
+func (rc *RayCast) fieldFor(f field.ID, hint *region.Region) *fieldState {
+	fs, ok := rc.state[f]
+	if ok {
+		return fs
+	}
+	fs = &fieldState{}
+	root := rc.tree.Root.Space
+	seed := &eqset{pts: root, hist: []core.Entry{core.SeedEntry(root)}}
+	rc.installAccel(fs, rc.chooseDCP(hint), []*eqset{seed})
+	rc.state[f] = fs
+	return fs
+}
+
+// rootPartitionOf returns the root-level partition whose subtree contains
+// r, or nil for the root itself.
+func (rc *RayCast) rootPartitionOf(r *region.Region) *region.Partition {
+	cur := r
+	for cur.Parent != nil {
+		if cur.Parent.Parent.IsRoot() {
+			return cur.Parent
+		}
+		cur = cur.Parent.Parent
+	}
+	return nil
+}
+
+// chooseDCP picks the disjoint-complete partition to bucket by: the one
+// containing hint when it qualifies, else the first disjoint-complete
+// partition of the root, else nil (K-d fallback).
+func (rc *RayCast) chooseDCP(hint *region.Region) *region.Partition {
+	if hint != nil {
+		if p := rc.rootPartitionOf(hint); p != nil && p.DisjointComplete() {
+			return p
+		}
+	}
+	for _, p := range rc.tree.Root.Partitions {
+		if p.DisjointComplete() {
+			return p
+		}
+	}
+	return nil
+}
+
+// installAccel (re)builds the acceleration structure for dcp (or the K-d
+// fallback when dcp is nil) and distributes sets into it, splitting sets
+// at piece boundaries so each lives in exactly one bucket.
+func (rc *RayCast) installAccel(fs *fieldState, dcp *region.Partition, sets []*eqset) {
+	fs.dcp = dcp
+	fs.misses = 0
+	fs.candidate = nil
+	fs.pieces = nil
+	fs.buckets = nil
+	fs.kd = nil
+	fs.kdSets = nil
+
+	if dcp == nil {
+		fs.kd = bvh.NewKD(rc.tree.Root.Space.Bounds(), 64)
+		fs.kdSets = make(map[int]*eqset)
+		for _, s := range sets {
+			rc.kdInsert(fs, s)
+		}
+		return
+	}
+
+	// Index every rectangle of every piece rather than piece bounding
+	// boxes: pieces made of scattered blocks (e.g. a node block plus a
+	// wire block) would otherwise produce mutually-overlapping boxes and
+	// degrade every query to a full scan.
+	var inputs []bvh.Input
+	for i, sub := range dcp.Subregions {
+		for _, r := range sub.Space.Rects() {
+			inputs = append(inputs, bvh.Input{Box: r, ID: i})
+		}
+	}
+	fs.pieces = bvh.Build(inputs)
+	fs.buckets = make([][]*eqset, len(dcp.Subregions))
+	for _, s := range sets {
+		for i, sub := range dcp.Subregions {
+			rc.stats.OverlapTests++
+			part := s.pts.Intersect(sub.Space)
+			if part.IsEmpty() {
+				continue
+			}
+			ns := &eqset{id: fs.nextID, pts: part, hist: append([]core.Entry(nil), s.hist...), bucket: i}
+			fs.nextID++
+			fs.buckets[i] = append(fs.buckets[i], ns)
+			rc.opts.Probe.Touch(rc.opts.Owner(part), 1)
+		}
+	}
+}
+
+func (rc *RayCast) kdInsert(fs *fieldState, s *eqset) {
+	s.id = fs.nextID
+	s.bucket = -1
+	fs.nextID++
+	fs.kdSets[s.id] = s
+	fs.kd.Insert(s.id, s.pts.Bounds())
+	rc.opts.Probe.Touch(rc.opts.Owner(s.pts), 1)
+}
+
+// overlappingBuckets returns the indices of dcp pieces whose contents
+// overlap sp.
+func (rc *RayCast) overlappingBuckets(fs *fieldState, sp index.Space) []int {
+	var out []int
+	visited := fs.pieces.QuerySpace(sp, func(i int) {
+		rc.stats.OverlapTests++
+		if fs.dcp.Subregions[i].Space.Overlaps(sp) {
+			out = append(out, i)
+		}
+	})
+	rc.stats.BVHVisited += int64(visited)
+	rc.opts.Probe.Visit(int64(visited))
+	return out
+}
+
+// candidates returns the live sets overlapping sp.
+func (rc *RayCast) candidates(fs *fieldState, sp index.Space) []*eqset {
+	var out []*eqset
+	if fs.dcp != nil {
+		for _, bi := range rc.overlappingBuckets(fs, sp) {
+			for _, s := range fs.buckets[bi] {
+				rc.stats.SetsVisited++
+				rc.stats.OverlapTests++
+				if s.pts.Overlaps(sp) {
+					out = append(out, s)
+				}
+			}
+			rc.opts.Probe.Touch(rc.opts.Owner(fs.dcp.Subregions[bi].Space), int64(len(fs.buckets[bi])))
+		}
+		return out
+	}
+	visited := fs.kd.QuerySpace(sp, func(id int) {
+		s := fs.kdSets[id]
+		rc.stats.SetsVisited++
+		rc.stats.OverlapTests++
+		if s.pts.Overlaps(sp) {
+			out = append(out, s)
+		}
+		rc.opts.Probe.Touch(rc.opts.Owner(s.pts), 1)
+	})
+	rc.stats.BVHVisited += int64(visited)
+	rc.opts.Probe.Visit(int64(visited))
+	return out
+}
+
+// remove deletes s from the acceleration structure.
+func (rc *RayCast) remove(fs *fieldState, s *eqset) {
+	if fs.dcp != nil {
+		b := fs.buckets[s.bucket]
+		for i, x := range b {
+			if x == s {
+				b[i] = b[len(b)-1]
+				fs.buckets[s.bucket] = b[:len(b)-1]
+				return
+			}
+		}
+		return
+	}
+	fs.kd.Remove(s.id)
+	delete(fs.kdSets, s.id)
+}
+
+// insert adds a set whose bucket is already known (refined fragments stay
+// in their parent's piece) or registers it in the K-d container.
+func (rc *RayCast) insert(fs *fieldState, s *eqset) {
+	if fs.dcp != nil {
+		s.id = fs.nextID
+		fs.nextID++
+		fs.buckets[s.bucket] = append(fs.buckets[s.bucket], s)
+		rc.opts.Probe.Touch(rc.opts.Owner(s.pts), 1)
+		return
+	}
+	rc.kdInsert(fs, s)
+}
+
+// refine splits partially-overlapping sets and returns those fully inside
+// sp, exactly as Warnock's refine (Figure 9) but over the bucketed store.
+func (rc *RayCast) refine(fs *fieldState, sp index.Space) []*eqset {
+	var inside []*eqset
+	for _, s := range rc.candidates(fs, sp) {
+		rc.stats.OverlapTests++
+		if sp.Covers(s.pts) {
+			inside = append(inside, s)
+			continue
+		}
+		in := &eqset{pts: s.pts.Intersect(sp), hist: append([]core.Entry(nil), s.hist...), bucket: s.bucket}
+		out := &eqset{pts: s.pts.Subtract(sp), hist: s.hist, bucket: s.bucket}
+		s.dead = true
+		rc.remove(fs, s)
+		rc.insert(fs, in)
+		rc.insert(fs, out)
+		rc.stats.SetsCreated += 2
+		inside = append(inside, in)
+	}
+	return inside
+}
+
+// maybeMigrate tracks which disjoint-complete partition recent launches
+// use and re-buckets when the application has durably switched (§7.1).
+func (rc *RayCast) maybeMigrate(fs *fieldState, r *region.Region) {
+	if fs.dcp == nil {
+		return
+	}
+	p := rc.rootPartitionOf(r)
+	if p == nil || !p.DisjointComplete() {
+		return
+	}
+	if p == fs.dcp {
+		fs.misses = 0
+		fs.candidate = nil
+		return
+	}
+	if fs.candidate != p {
+		fs.candidate = p
+		fs.misses = 0
+	}
+	fs.misses++
+	if fs.misses >= migrateAfter {
+		var all []*eqset
+		for _, b := range fs.buckets {
+			all = append(all, b...)
+		}
+		rc.installAccel(fs, p, all)
+	}
+}
+
+// Analyze implements core.Analyzer.
+func (rc *RayCast) Analyze(t *core.Task) *core.Result {
+	rc.stats.Launches++
+	var deps []int
+	plans := make([][]core.Visible, len(t.Reqs))
+
+	insides := make([][]*eqset, len(t.Reqs))
+	for ri, req := range t.Reqs {
+		fs := rc.fieldFor(req.Field, req.Region)
+		rc.maybeMigrate(fs, req.Region)
+		inside := rc.refine(fs, req.Region.Space)
+		insides[ri] = inside
+		var plan []core.Visible
+		for _, s := range inside {
+			// Charge one interference test per privilege epoch, as in
+			// Legion's user lists (see warnock.privRuns).
+			rc.opts.Probe.Touch(rc.opts.Owner(s.pts), privRuns(s.hist))
+			for _, e := range s.hist {
+				rc.stats.EntriesScanned++
+				if privilege.Interferes(e.Priv, req.Priv) {
+					deps = append(deps, e.Task)
+					rc.stats.DepsReported++
+				}
+				if req.Priv.Kind != privilege.Reduce && e.Priv.Mutates() {
+					plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: s.pts})
+				}
+			}
+		}
+		if req.Priv.Kind == privilege.Reduce {
+			plan = nil
+		}
+		plans[ri] = plan
+	}
+
+	// commit: writes dominate (create one coalesced set per overlapped
+	// bucket and prune everything they occlude); reads and reductions
+	// append to each constituent set.
+	for ri, req := range t.Reqs {
+		if req.Region.Space.IsEmpty() {
+			continue
+		}
+		fs := rc.fieldFor(req.Field, req.Region)
+		e := core.Entry{Task: t.ID, Req: ri, Priv: req.Priv, Pts: req.Region.Space}
+		// Reuse the constituent sets from materialize unless another
+		// requirement of this task refined or pruned them since.
+		inside := insides[ri]
+		for _, s := range inside {
+			if s.dead {
+				inside = rc.refine(fs, req.Region.Space)
+				break
+			}
+		}
+		if req.Priv.IsWrite() {
+			rc.dominatingWrite(fs, req.Region.Space, e, inside)
+			continue
+		}
+		for _, s := range inside {
+			se := e
+			se.Pts = s.pts
+			s.hist = append(s.hist, se)
+			rc.opts.Probe.Touch(rc.opts.Owner(s.pts), 1)
+		}
+	}
+
+	return &core.Result{Deps: core.DedupDeps(deps), Plans: plans}
+}
+
+// privRuns counts maximal runs of identical privileges in a history — the
+// epochs a scan actually tests for interference.
+func privRuns(hist []core.Entry) int64 {
+	var runs int64
+	for i, e := range hist {
+		if i == 0 || e.Priv != hist[i-1].Priv {
+			runs++
+		}
+	}
+	return runs
+}
+
+// dominatingWrite implements Figure 11: the write's region becomes a fresh
+// equivalence set (split at piece boundaries in DCP mode) and every
+// occluded set is pruned. inside holds the occluded sets, found during the
+// materialize-phase refine: every set overlapping the write's region is
+// covered by it after refinement.
+func (rc *RayCast) dominatingWrite(fs *fieldState, sp index.Space, e core.Entry, inside []*eqset) {
+	buckets := make(map[int]index.Space)
+	for _, s := range inside {
+		s.dead = true
+		rc.remove(fs, s)
+		rc.stats.SetsCoalesced++
+		if s.bucket >= 0 {
+			cur, ok := buckets[s.bucket]
+			if !ok {
+				cur = index.Empty(sp.Dim())
+			}
+			buckets[s.bucket] = cur.Union(s.pts)
+		}
+	}
+	if fs.dcp != nil {
+		// One coalesced set per piece the write covers: the union of the
+		// pruned sets in that bucket (= piece ∩ write region).
+		for bi, part := range buckets {
+			se := e
+			se.Pts = part
+			ns := &eqset{id: fs.nextID, pts: part, hist: []core.Entry{se}, bucket: bi}
+			fs.nextID++
+			fs.buckets[bi] = append(fs.buckets[bi], ns)
+			rc.stats.SetsCreated++
+			// Invalidate-and-replace is one batched update per owner.
+			rc.opts.Probe.Touch(rc.opts.Owner(part), 2)
+		}
+		return
+	}
+	ns := &eqset{pts: sp, hist: []core.Entry{e}}
+	rc.kdInsert(fs, ns)
+	rc.stats.SetsCreated++
+}

@@ -1,0 +1,43 @@
+package region
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Print writes an ASCII rendition of the region tree in the style of the
+// paper's Figure 2(c): regions at even depths, partition triangles at odd
+// depths, annotated with disjointness/completeness and index-space
+// summaries.
+func (t *Tree) Print(w io.Writer) error {
+	var walk func(r *Region, indent int) error
+	walk = func(r *Region, indent int) error {
+		pad := strings.Repeat("  ", indent)
+		vol := r.Space.Volume()
+		if _, err := fmt.Fprintf(w, "%s%s  %v (|%d|)\n", pad, r.Name, r.Space.Bounds(), vol); err != nil {
+			return err
+		}
+		for _, p := range r.Partitions {
+			kind := "aliased"
+			if p.Disjoint {
+				kind = "disjoint"
+			}
+			completeness := "incomplete"
+			if p.Complete {
+				completeness = "complete"
+			}
+			if _, err := fmt.Fprintf(w, "%s  △ %s (%s, %s) ×%d\n",
+				pad, p.Name, kind, completeness, len(p.Subregions)); err != nil {
+				return err
+			}
+			for _, sub := range p.Subregions {
+				if err := walk(sub, indent+2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(t.Root, 0)
+}

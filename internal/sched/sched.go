@@ -1,0 +1,278 @@
+// Package sched executes analyzed task streams with real parallelism: the
+// dependence analysis runs sequentially in program order (as the paper's
+// dynamic analyses require, §3.2), while the kernels it admits run
+// concurrently on a pool of processors gated by completion events — the
+// relaxation of sequential order into a parallel partial order that the
+// dependence analysis exists to justify.
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"visibility/internal/core"
+	"visibility/internal/data"
+	"visibility/internal/event"
+	"visibility/internal/field"
+	"visibility/internal/geometry"
+	"visibility/internal/privilege"
+	"visibility/internal/region"
+)
+
+// Executor runs tasks through an analyzer and executes their kernels in
+// parallel, respecting only the analyzer-reported dependences.
+type Executor struct {
+	tree *region.Tree
+	an   core.Analyzer
+	init map[field.ID]*data.Store
+
+	procs []*event.Processor
+	next  int
+
+	mu        sync.Mutex
+	committed map[commitKey]*data.Store
+	events    map[int]*event.Event
+	all       []*event.Event
+
+	// Physical-instance cache: two materializations driven by identical
+	// plans produce identical contents, so the store can be reused
+	// instead of re-copied — the analog of Legion reusing a valid
+	// physical instance instead of issuing copies. Materialized stores
+	// are immutable by construction (kernels write fresh output stores).
+	instances map[instanceKey]*data.Store
+	instanceQ []instanceKey // FIFO eviction order
+	maxCached int
+	CacheHits int64
+	CacheMiss int64
+}
+
+type commitKey struct {
+	task int
+	req  int
+}
+
+type instanceKey struct {
+	field field.ID
+	space string // index-space key
+	plan  string // plan signature: producers, privileges, points
+}
+
+// NewExecutor creates an executor with workers parallel processors.
+func NewExecutor(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	x := &Executor{
+		tree:      tree,
+		an:        an,
+		init:      make(map[field.ID]*data.Store, len(init)),
+		committed: make(map[commitKey]*data.Store),
+		events:    make(map[int]*event.Event),
+		instances: make(map[instanceKey]*data.Store),
+		maxCached: 256,
+	}
+	for f, s := range init {
+		x.init[f] = s.Clone()
+	}
+	for i := 0; i < workers; i++ {
+		x.procs = append(x.procs, event.NewProcessor(64))
+	}
+	return x
+}
+
+// Analyzer returns the executor's analyzer (for stats inspection).
+func (x *Executor) Analyzer() core.Analyzer { return x.an }
+
+// Submit analyzes t in program order and schedules its kernel; it returns
+// immediately with the task's completion event. body, when non-nil, is run
+// on the worker after inputs are materialized and before outputs commit,
+// with the task's materialized inputs (indexed by requirement; reduce
+// requirements have nil inputs).
+func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.Store)) *event.Event {
+	res := x.an.Analyze(t)
+	if len(res.Plans) != len(t.Reqs) {
+		panic(fmt.Sprintf("sched: analyzer %s returned %d plans for %d reqs", x.an.Name(), len(res.Plans), len(t.Reqs)))
+	}
+
+	x.mu.Lock()
+	pres := make([]*event.Event, 0, len(res.Deps)+len(t.FutureDeps))
+	for _, d := range res.Deps {
+		if e, ok := x.events[d]; ok {
+			pres = append(pres, e)
+		}
+	}
+	for _, fd := range t.FutureDeps {
+		if e, ok := x.events[fd]; ok {
+			pres = append(pres, e)
+		}
+	}
+	x.mu.Unlock()
+	pre := event.Merge(pres...)
+
+	proc := x.procs[x.next%len(x.procs)]
+	x.next++
+	done := proc.Spawn(pre, func() {
+		inputs := make([]*data.Store, len(t.Reqs))
+		for ri, req := range t.Reqs {
+			if req.Priv.Kind != privilege.Reduce {
+				inputs[ri] = x.materialize(req, res.Plans[ri])
+			}
+		}
+		if body != nil {
+			body(inputs)
+		}
+		for ri, req := range t.Reqs {
+			switch req.Priv.Kind {
+			case privilege.ReadWrite:
+				out := data.NewStore(req.Region.Space.Dim())
+				in := inputs[ri]
+				req.Region.Space.Each(func(p geometry.Point) bool {
+					cur, ok := in.Get(p)
+					if !ok {
+						cur = 0
+					}
+					out.Set(p, k.WriteValue(t, ri, p, cur))
+					return true
+				})
+				x.commit(t.ID, ri, out)
+			case privilege.Reduce:
+				op := req.Priv.Op
+				out := data.NewStore(req.Region.Space.Dim())
+				req.Region.Space.Each(func(p geometry.Point) bool {
+					out.Set(p, privilege.Apply(op, privilege.Identity(op), k.ReduceValue(t, ri, p)))
+					return true
+				})
+				x.commit(t.ID, ri, out)
+			}
+		}
+	})
+
+	x.mu.Lock()
+	x.events[t.ID] = done
+	x.all = append(x.all, done)
+	x.mu.Unlock()
+	return done
+}
+
+func (x *Executor) commit(task, req int, s *data.Store) {
+	x.mu.Lock()
+	x.committed[commitKey{task, req}] = s
+	x.mu.Unlock()
+}
+
+func (x *Executor) source(v core.Visible, f field.ID) *data.Store {
+	if v.Task == core.InitialTask {
+		return x.init[f]
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s := x.committed[commitKey{v.Task, v.Req}]
+	if s == nil {
+		panic(fmt.Sprintf("sched: plan references uncommitted producer %d.%d — missing dependence", v.Task, v.Req))
+	}
+	return s
+}
+
+// planSignature uniquely identifies a materialization's inputs: the same
+// producers contributing the same points with the same privileges yield
+// the same contents.
+func planSignature(plan []core.Visible) string {
+	var b strings.Builder
+	for _, v := range plan {
+		fmt.Fprintf(&b, "%d.%d%s:%s;", v.Task, v.Req, v.Priv, v.Pts.Key())
+	}
+	return b.String()
+}
+
+func (x *Executor) materialize(req core.Req, plan []core.Visible) *data.Store {
+	key := instanceKey{field: req.Field, space: req.Region.Space.Key(), plan: planSignature(plan)}
+	x.mu.Lock()
+	if st, ok := x.instances[key]; ok {
+		x.CacheHits++
+		x.mu.Unlock()
+		return st
+	}
+	x.CacheMiss++
+	x.mu.Unlock()
+
+	in := x.materializeFresh(req, plan)
+
+	x.mu.Lock()
+	if _, dup := x.instances[key]; !dup {
+		x.instances[key] = in
+		x.instanceQ = append(x.instanceQ, key)
+		if len(x.instanceQ) > x.maxCached {
+			evict := x.instanceQ[0]
+			x.instanceQ = x.instanceQ[1:]
+			delete(x.instances, evict)
+		}
+	}
+	x.mu.Unlock()
+	return in
+}
+
+func (x *Executor) materializeFresh(req core.Req, plan []core.Visible) *data.Store {
+	in := data.NewStore(req.Region.Space.Dim())
+	for _, v := range plan {
+		src := x.source(v, req.Field)
+		switch v.Priv.Kind {
+		case privilege.ReadWrite:
+			v.Pts.Each(func(p geometry.Point) bool {
+				if val, ok := src.Get(p); ok {
+					in.Set(p, val)
+				}
+				return true
+			})
+		case privilege.Reduce:
+			op := v.Priv.Op
+			v.Pts.Each(func(p geometry.Point) bool {
+				contrib, ok := src.Get(p)
+				if !ok {
+					return true
+				}
+				base, okb := in.Get(p)
+				if !okb {
+					base = privilege.Identity(op)
+				}
+				in.Set(p, privilege.Apply(op, base, contrib))
+				return true
+			})
+		}
+	}
+	return in
+}
+
+// Drain waits for every submitted task to complete.
+func (x *Executor) Drain() {
+	x.mu.Lock()
+	all := append([]*event.Event(nil), x.all...)
+	x.mu.Unlock()
+	for _, e := range all {
+		e.Wait()
+	}
+}
+
+// Shutdown drains and stops the worker processors.
+func (x *Executor) Shutdown() {
+	x.Drain()
+	for _, p := range x.procs {
+		p.Shutdown()
+	}
+}
+
+// Read materializes the current contents of a region/field through the
+// analyzer by submitting a read-only task and waiting for it. It is the
+// "inline mapping" used by examples to observe results.
+func (x *Executor) Read(stream *core.Stream, r *region.Region, f field.ID) *data.Store {
+	var got *data.Store
+	t := stream.Launch("inline-read", core.Req{Region: r, Field: f, Priv: privilege.Reads()})
+	done := x.Submit(t, nopKernel{}, func(inputs []*data.Store) { got = inputs[0] })
+	done.Wait()
+	return got
+}
+
+type nopKernel struct{}
+
+func (nopKernel) WriteValue(*core.Task, int, geometry.Point, float64) float64 { return 0 }
+func (nopKernel) ReduceValue(*core.Task, int, geometry.Point) float64         { return 0 }

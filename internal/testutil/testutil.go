@@ -1,0 +1,110 @@
+// Package testutil provides shared fixtures for the analyzer test suites:
+// the paper's Figure 1/2 graph setup, its Figure 5 task stream, and common
+// invariant checks.
+package testutil
+
+import (
+	"fmt"
+
+	"visibility/internal/core"
+	"visibility/internal/data"
+	"visibility/internal/field"
+	"visibility/internal/geometry"
+	"visibility/internal/index"
+	"visibility/internal/privilege"
+	"visibility/internal/region"
+)
+
+// GraphTree builds the Figure 1/2 setup: an 18-node ring region N with
+// fields up and down, a disjoint-complete primary partition P into three
+// blocks of six, and an aliased ghost partition G of width-4 halos.
+func GraphTree() (*region.Tree, *region.Partition, *region.Partition) {
+	fs := field.NewSpace()
+	fs.Add("up")
+	fs.Add("down")
+	tree := region.NewTree("N", index.FromRect(geometry.R1(0, 17)), fs)
+	p := tree.Root.Partition("P", []index.Space{
+		index.FromRect(geometry.R1(0, 5)),
+		index.FromRect(geometry.R1(6, 11)),
+		index.FromRect(geometry.R1(12, 17)),
+	})
+	g := tree.Root.Partition("G", []index.Space{
+		index.FromRects(1, geometry.R1(14, 17), geometry.R1(6, 9)),
+		index.FromRects(1, geometry.R1(2, 5), geometry.R1(12, 15)),
+		index.FromRects(1, geometry.R1(8, 11), geometry.R1(0, 3)),
+	})
+	return tree, p, g
+}
+
+// LaunchT1 launches one t1 task of Figure 1 (read-write P[i].up, reduce+
+// G[i].down).
+func LaunchT1(s *core.Stream, p, g *region.Partition, i int) *core.Task {
+	tree := s.Tree
+	up, _ := tree.Fields.Lookup("up")
+	down, _ := tree.Fields.Lookup("down")
+	return s.Launch("t1",
+		core.Req{Region: p.Subregions[i], Field: up, Priv: privilege.Writes()},
+		core.Req{Region: g.Subregions[i], Field: down, Priv: privilege.Reduces(privilege.OpSum)})
+}
+
+// LaunchT2 launches one t2 task of Figure 1 (read-write P[i].down, reduce+
+// G[i].up).
+func LaunchT2(s *core.Stream, p, g *region.Partition, i int) *core.Task {
+	tree := s.Tree
+	up, _ := tree.Fields.Lookup("up")
+	down, _ := tree.Fields.Lookup("down")
+	return s.Launch("t2",
+		core.Req{Region: p.Subregions[i], Field: down, Priv: privilege.Writes()},
+		core.Req{Region: g.Subregions[i], Field: up, Priv: privilege.Reduces(privilege.OpSum)})
+}
+
+// Figure5 launches the nine tasks of Figure 5 into s and returns them.
+func Figure5(s *core.Stream, p, g *region.Partition) []*core.Task {
+	var out []*core.Task
+	for i := 0; i < 3; i++ {
+		out = append(out, LaunchT1(s, p, g, i))
+	}
+	for i := 0; i < 3; i++ {
+		out = append(out, LaunchT2(s, p, g, i))
+	}
+	for i := 0; i < 3; i++ {
+		out = append(out, LaunchT1(s, p, g, i))
+	}
+	return out
+}
+
+// FullInit returns initial stores covering the whole root region for every
+// field, with distinct deterministic values.
+func FullInit(tree *region.Tree) map[field.ID]*data.Store {
+	init := make(map[field.ID]*data.Store)
+	for f := 0; f < tree.Fields.Len(); f++ {
+		st := data.NewStore(tree.Root.Space.Dim())
+		tree.Root.Space.Each(func(p geometry.Point) bool {
+			st.Set(p, float64(int64(f+1)*1000)+float64(p.C[0])+2*float64(p.C[1]))
+			return true
+		})
+		init[field.ID(f)] = st
+	}
+	return init
+}
+
+// CheckPartitionInvariant verifies that spaces are pairwise disjoint and
+// exactly cover root — the fundamental equivalence-set invariant of §6.
+func CheckPartitionInvariant(spaces []index.Space, root index.Space) error {
+	union := index.Empty(root.Dim())
+	for i, a := range spaces {
+		if a.IsEmpty() {
+			return fmt.Errorf("equivalence set %d is empty", i)
+		}
+		for j := i + 1; j < len(spaces); j++ {
+			if a.Overlaps(spaces[j]) {
+				return fmt.Errorf("equivalence sets %d and %d overlap: %v vs %v", i, j, a, spaces[j])
+			}
+		}
+		union = union.Union(a)
+	}
+	if !union.Equal(root) {
+		return fmt.Errorf("equivalence sets do not cover the root: %v vs %v", union, root)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package warnock_test
+
+import (
+	"testing"
+
+	"visibility/internal/core"
+	"visibility/internal/testutil"
+	"visibility/internal/warnock"
+)
+
+// TestFigure10Refinement reproduces the equivalence-set refinement tree of
+// Figure 10 for the up field over the Figure 5 task launches on the ring
+// of 18 nodes: the primary writes discover the three P pieces, and the
+// aliased ghost reductions refine them down to the nine maximal sets with
+// uniform history.
+func TestFigure10Refinement(t *testing.T) {
+	tree, p, g := testutil.GraphTree()
+	up, _ := tree.Fields.Lookup("up")
+	s := core.NewStream(tree)
+	w := warnock.New(tree, core.Options{})
+
+	if got := w.EquivalenceSets(up); got != 1 {
+		t.Fatalf("initial equivalence sets = %d, want 1", got)
+	}
+
+	// Expected up-field set counts after each of t0..t8 (see Figure 10):
+	// t0 splits N into P[0] and the rest; t1 splits the rest into P[1] and
+	// P[2]; t2 matches P[2] exactly; the ghost reductions t3-t5 cut each
+	// P piece at the halo boundaries, reaching the nine 2-element bands;
+	// the second t1 phase re-uses the same regions and refines nothing.
+	want := []int{2, 3, 3, 5, 7, 9, 9, 9, 9}
+	for i, task := range testutil.Figure5(s, p, g) {
+		w.Analyze(task)
+		if got := w.EquivalenceSets(up); got != want[i] {
+			t.Errorf("after t%d: equivalence sets = %d, want %d", i, got, want[i])
+		}
+	}
+
+	// Warnock never coalesces: many further iterations leave the
+	// refinement exactly where it is.
+	for iter := 0; iter < 5; iter++ {
+		for i := 0; i < 3; i++ {
+			w.Analyze(testutil.LaunchT1(s, p, g, i))
+		}
+		for i := 0; i < 3; i++ {
+			w.Analyze(testutil.LaunchT2(s, p, g, i))
+		}
+	}
+	if got := w.EquivalenceSets(up); got != 9 {
+		t.Errorf("steady state equivalence sets = %d, want 9", got)
+	}
+	if w.Stats().SetsCoalesced != 0 {
+		t.Error("Warnock's algorithm must never coalesce sets")
+	}
+}
+
+// TestEquivalenceSetInvariant checks the fundamental §6 invariant on every
+// step of a mixed stream: live sets are pairwise disjoint and cover the
+// root.
+func TestEquivalenceSetInvariant(t *testing.T) {
+	tree, p, g := testutil.GraphTree()
+	s := core.NewStream(tree)
+	w := warnock.New(tree, core.Options{})
+	var launches []*core.Task
+	launches = append(launches, testutil.Figure5(s, p, g)...)
+	for i := 0; i < 3; i++ {
+		launches = append(launches, testutil.LaunchT2(s, p, g, i))
+	}
+	for _, task := range launches {
+		w.Analyze(task)
+		for f := 0; f < tree.Fields.Len(); f++ {
+			if err := testutil.CheckPartitionInvariant(w.SetSpaces(0), tree.Root.Space); err != nil {
+				t.Fatalf("after %v: %v", task, err)
+			}
+		}
+	}
+}
+
+// TestMemoization verifies that repeated uses of a region restart the
+// equivalence-set search at the memoized leaves instead of the root: the
+// per-launch BVH traversal cost must drop after the first iteration.
+func TestMemoization(t *testing.T) {
+	tree, p, g := testutil.GraphTree()
+	s := core.NewStream(tree)
+	w := warnock.New(tree, core.Options{})
+
+	iterCost := func() int64 {
+		before := w.Stats().BVHVisited
+		for i := 0; i < 3; i++ {
+			w.Analyze(testutil.LaunchT1(s, p, g, i))
+		}
+		for i := 0; i < 3; i++ {
+			w.Analyze(testutil.LaunchT2(s, p, g, i))
+		}
+		return w.Stats().BVHVisited - before
+	}
+	first := iterCost()
+	second := iterCost()
+	third := iterCost()
+	fourth := iterCost()
+	if second > first {
+		t.Errorf("BVH cost grew after warmup: first=%d second=%d", first, second)
+	}
+	if third > second || fourth != third {
+		t.Errorf("BVH cost not converging: %d %d %d %d", first, second, third, fourth)
+	}
+}

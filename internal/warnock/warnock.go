@@ -1,0 +1,318 @@
+// Package warnock implements Warnock's algorithm for content-based
+// coherence (paper §6): the state is a set of equivalence sets — pairs of a
+// point set and a history — maintaining the invariant that every operation
+// in an equivalence set's history is relevant to every point of the set.
+// Launching a task on a region refines any partially-overlapping
+// equivalence sets into inside/outside halves (Figure 9), so equivalence
+// sets only ever get smaller.
+//
+// The history of refinements forms a search tree that acts as a bounding
+// volume hierarchy (§6.1): lookups descend from the root through refined
+// nodes to the current leaves, and per-region results are memoized so
+// repeated uses of the same region restart the search at the memoized
+// nodes rather than the root.
+package warnock
+
+import (
+	"visibility/internal/core"
+	"visibility/internal/field"
+	"visibility/internal/index"
+	"visibility/internal/privilege"
+	"visibility/internal/region"
+)
+
+// Warnock is the equivalence-set coherence analyzer of §6.
+type Warnock struct {
+	tree  *region.Tree
+	opts  core.Options
+	state map[field.ID]*fieldState
+	stats core.Stats
+
+	nextToken int64 // unique ids for refinement-tree nodes across fields
+
+	// DisableMemo turns off the per-region memoization of constituent
+	// equivalence sets (§6.1), so every lookup descends from the root —
+	// an ablation knob for benchmarking the optimization.
+	DisableMemo bool
+}
+
+// New creates a Warnock analyzer for tree.
+func New(tree *region.Tree, opts core.Options) *Warnock {
+	return &Warnock{tree: tree, opts: opts.Normalize(), state: make(map[field.ID]*fieldState)}
+}
+
+// Name implements core.Analyzer.
+func (w *Warnock) Name() string { return "warnock" }
+
+// Stats implements core.Analyzer.
+func (w *Warnock) Stats() *core.Stats { return &w.stats }
+
+// EquivalenceSets returns the number of live (leaf) equivalence sets for
+// field f, for tests and the experiment harness.
+func (w *Warnock) EquivalenceSets(f field.ID) int {
+	fs, ok := w.state[f]
+	if !ok {
+		return 1 // the initial, untouched root set
+	}
+	n := 0
+	var walk func(*bnode)
+	walk = func(b *bnode) {
+		if b.set != nil {
+			n++
+			return
+		}
+		for _, c := range b.children {
+			walk(c)
+		}
+	}
+	walk(fs.root)
+	return n
+}
+
+// SetSpaces returns the point sets of the live equivalence sets for field
+// f, for invariant checks in tests.
+func (w *Warnock) SetSpaces(f field.ID) []index.Space {
+	fs, ok := w.state[f]
+	if !ok {
+		return []index.Space{w.tree.Root.Space}
+	}
+	var out []index.Space
+	var walk func(*bnode)
+	walk = func(b *bnode) {
+		if b.set != nil {
+			out = append(out, b.set.pts)
+			return
+		}
+		for _, c := range b.children {
+			walk(c)
+		}
+	}
+	walk(fs.root)
+	return out
+}
+
+// eqset is one equivalence set: a point set and the history of operations
+// relevant to every point of it.
+type eqset struct {
+	pts  index.Space
+	hist []core.Entry
+}
+
+// bnode is a node of the refinement BVH. Leaves hold live equivalence sets;
+// interior nodes record past refinements and are immutable once refined,
+// which is what makes them safe to replicate across the machine (§6.1).
+// Replication is on demand and per node: the first traversal through a
+// freshly-refined interior node by each analyzing node must fetch it from
+// its owner before it is cached locally — the construction/distribution
+// cost that dominates Warnock's initialization at scale (§8.1). Fetches are
+// reported through Probe.Fetch keyed by the node's id.
+type bnode struct {
+	pts      index.Space
+	set      *eqset // non-nil exactly at leaves
+	children []*bnode
+	owner    int
+	id       int64
+}
+
+type fieldState struct {
+	root *bnode
+	memo map[int][]*bnode // region ID → nodes covering it at last lookup
+}
+
+func (w *Warnock) fieldFor(f field.ID) *fieldState {
+	fs, ok := w.state[f]
+	if !ok {
+		root := w.tree.Root.Space
+		w.nextToken++
+		fs = &fieldState{
+			root: &bnode{
+				pts:   root,
+				set:   &eqset{pts: root, hist: []core.Entry{core.SeedEntry(root)}},
+				owner: w.opts.Owner(root),
+				id:    w.nextToken,
+			},
+			memo: make(map[int][]*bnode),
+		}
+		w.state[f] = fs
+	}
+	return fs
+}
+
+// lookup returns the leaf nodes whose sets overlap sp, descending from the
+// memoized nodes for the region (or the root on first use).
+func (w *Warnock) lookup(fs *fieldState, regionID int, sp index.Space) []*bnode {
+	start, ok := fs.memo[regionID]
+	if !ok || w.DisableMemo {
+		start = []*bnode{fs.root}
+	}
+	var leaves []*bnode
+	var descend func(*bnode)
+	descend = func(b *bnode) {
+		w.stats.BVHVisited++
+		// Testing a node costs work proportional to its rectangle
+		// complexity: the residual spaces produced by piece-by-piece
+		// refinement fragment into more and more rectangles, which is
+		// what makes constructing and searching the refinement tree
+		// superlinear during initialization (§8.1).
+		ops := int64(b.pts.NumRects())
+		if b.set == nil {
+			// Interior nodes are replicated on demand per analyzing
+			// node; the probe decides whether this is a first fetch.
+			w.opts.Probe.Fetch(b.owner, b.id, ops)
+		} else {
+			w.opts.Probe.Visit(ops)
+		}
+		w.stats.OverlapTests++
+		if !b.pts.Overlaps(sp) {
+			return
+		}
+		if b.set != nil {
+			leaves = append(leaves, b)
+			return
+		}
+		for _, c := range b.children {
+			descend(c)
+		}
+	}
+	for _, b := range start {
+		descend(b)
+	}
+	fs.memo[regionID] = leaves
+	return leaves
+}
+
+// privRuns counts maximal runs of identical privileges in a history — the
+// epochs a scan actually tests for interference.
+func privRuns(hist []core.Entry) int64 {
+	var runs int64
+	for i, e := range hist {
+		if i == 0 || e.Priv != hist[i-1].Priv {
+			runs++
+		}
+	}
+	return runs
+}
+
+// refine splits every equivalence set partially overlapping sp into
+// inside/outside halves (Figure 9, refine), then returns the leaves fully
+// inside sp.
+func (w *Warnock) refine(fs *fieldState, regionID int, sp index.Space) []*bnode {
+	leaves := w.lookup(fs, regionID, sp)
+	var inside []*bnode
+	for _, b := range leaves {
+		w.stats.SetsVisited++
+		s := b.set
+		w.opts.Probe.Touch(w.opts.Owner(s.pts), 1)
+		w.stats.OverlapTests++
+		if sp.Covers(s.pts) {
+			inside = append(inside, b)
+			continue
+		}
+		in := s.pts.Intersect(sp)
+		out := s.pts.Subtract(sp)
+		// Lookup guarantees overlap, and non-containment guarantees a
+		// remainder, so both halves are non-empty.
+		w.nextToken++
+		inLeaf := &bnode{pts: in, set: &eqset{pts: in, hist: append([]core.Entry(nil), s.hist...)}, owner: w.opts.Owner(in), id: w.nextToken}
+		w.nextToken++
+		outLeaf := &bnode{pts: out, set: &eqset{pts: out, hist: s.hist}, owner: w.opts.Owner(out), id: w.nextToken}
+		b.set = nil
+		b.children = []*bnode{inLeaf, outLeaf}
+		// Refinement replaces this node's metadata: caches of the old
+		// version are invalid, so it gets a fresh replication token and
+		// every analyzing node must fetch it again (§6.1's immutability
+		// begins only after the refinement).
+		w.nextToken++
+		b.id = w.nextToken
+		w.stats.SetsCreated += 2
+		w.opts.Probe.Touch(w.opts.Owner(s.pts), 2)
+		inside = append(inside, inLeaf)
+	}
+	// The memo currently holds pre-refinement leaves; refresh it to the
+	// new leaves overlapping the region.
+	refreshed := make([]*bnode, 0, len(inside))
+	for _, b := range leaves {
+		if b.set != nil {
+			refreshed = append(refreshed, b)
+		} else {
+			for _, c := range b.children {
+				if c.pts.Overlaps(sp) {
+					refreshed = append(refreshed, c)
+				}
+			}
+		}
+	}
+	fs.memo[regionID] = refreshed
+	return inside
+}
+
+// Analyze implements core.Analyzer.
+func (w *Warnock) Analyze(t *core.Task) *core.Result {
+	w.stats.Launches++
+	var deps []int
+	plans := make([][]core.Visible, len(t.Reqs))
+
+	// materialize: refine, then paint each constituent equivalence set.
+	insides := make([][]*bnode, len(t.Reqs))
+	for ri, req := range t.Reqs {
+		fs := w.fieldFor(req.Field)
+		inside := w.refine(fs, req.Region.ID, req.Region.Space)
+		insides[ri] = inside
+		var plan []core.Visible
+		for _, b := range inside {
+			s := b.set
+			// Consecutive entries with one privilege form an epoch (e.g.
+			// N same-operator reductions): interference is decided once
+			// per epoch, as in Legion's user lists, so the charged work
+			// is the number of privilege runs, not entries.
+			w.opts.Probe.Touch(w.opts.Owner(s.pts), privRuns(s.hist))
+			for _, e := range s.hist {
+				w.stats.EntriesScanned++
+				// Every entry is relevant to the whole set: no spatial
+				// test is needed, only privilege interference.
+				if privilege.Interferes(e.Priv, req.Priv) {
+					deps = append(deps, e.Task)
+					w.stats.DepsReported++
+				}
+				if req.Priv.Kind != privilege.Reduce && e.Priv.Mutates() {
+					plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: s.pts})
+				}
+			}
+		}
+		if req.Priv.Kind == privilege.Reduce {
+			plan = nil
+		}
+		plans[ri] = plan
+	}
+
+	// commit: record the operation in each constituent set; writes clear
+	// the prior history (Figure 9 lines 30-31).
+	for ri, req := range t.Reqs {
+		if req.Region.Space.IsEmpty() {
+			continue
+		}
+		fs := w.fieldFor(req.Field)
+		// Reuse the constituent sets found during materialize; another
+		// requirement of this task may have refined them since (same
+		// field, overlapping region), in which case look up again.
+		inside := insides[ri]
+		for _, b := range inside {
+			if b.set == nil {
+				inside = w.refine(fs, req.Region.ID, req.Region.Space)
+				break
+			}
+		}
+		for _, b := range inside {
+			s := b.set
+			e := core.Entry{Task: t.ID, Req: ri, Priv: req.Priv, Pts: s.pts}
+			if req.Priv.IsWrite() {
+				s.hist = append(s.hist[:0:0], e)
+			} else {
+				s.hist = append(s.hist, e)
+			}
+			w.opts.Probe.Touch(w.opts.Owner(s.pts), 1)
+		}
+	}
+
+	return &core.Result{Deps: core.DedupDeps(deps), Plans: plans}
+}
