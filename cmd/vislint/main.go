@@ -1,0 +1,83 @@
+// Command vislint runs the visibility runtime's custom static analyzers
+// (internal/lint) over the module and reports invariant violations.
+//
+// Usage:
+//
+//	go run ./cmd/vislint [-run name,name] [-list] [packages]
+//
+// With no package patterns it checks ./... . It exits 0 when the tree is
+// clean, 1 when any analyzer reports a diagnostic, and 2 when loading or
+// analysis itself fails. Individual findings can be suppressed — with a
+// reason — by a "//vislint:ignore <analyzer> <why>" comment on or above
+// the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"visibility/internal/lint"
+)
+
+func main() {
+	var (
+		runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vislint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *runNames != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*runNames, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "vislint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vislint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vislint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vislint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

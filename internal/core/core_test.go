@@ -194,7 +194,7 @@ func (a *amnesiac) Stats() *core.Stats { return &a.stats }
 func (a *amnesiac) Analyze(t *core.Task) *core.Result {
 	plans := make([][]core.Visible, len(t.Reqs))
 	for ri, req := range t.Reqs {
-		if req.Priv.Kind != privilege.Reduce {
+		if !req.Priv.IsReduce() {
 			plans[ri] = []core.Visible{{
 				Task: core.InitialTask, Req: 0,
 				Priv: privilege.Writes(), Pts: req.Region.Space,

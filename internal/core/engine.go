@@ -59,6 +59,7 @@ func NewEngine(tree *region.Tree, an Analyzer, init map[field.ID]*data.Store) *E
 		Inputs:    make(map[int][]*data.Store),
 		Deps:      make(map[int][]int),
 	}
+	//vislint:ignore detrange cloning a map into a map is order-insensitive
 	for f, s := range init {
 		e.init[f] = s.Clone()
 	}
@@ -78,22 +79,21 @@ func (e *Engine) Launch(t *Task, k Kernel) *Result {
 
 	inputs := make([]*data.Store, len(t.Reqs))
 	for ri, req := range t.Reqs {
-		switch req.Priv.Kind {
-		case privilege.Read, privilege.ReadWrite:
-			if e.StrictPlans {
-				e.checkPlan(t, ri, req, res.Plans[ri])
-			}
-			inputs[ri] = e.materialize(req, res.Plans[ri])
-		case privilege.Reduce:
+		if req.Priv.IsReduce() {
 			// Reductions accumulate into identity-initialized scratch
 			// (Figure 7 line 15); no materialization.
+			continue
 		}
+		if e.StrictPlans {
+			e.checkPlan(t, ri, req, res.Plans[ri])
+		}
+		inputs[ri] = e.materialize(req, res.Plans[ri])
 	}
 
 	// Run the kernel and commit outputs.
 	for ri, req := range t.Reqs {
-		switch req.Priv.Kind {
-		case privilege.ReadWrite:
+		switch {
+		case req.Priv.IsWrite():
 			out := data.NewStore(req.Region.Space.Dim())
 			in := inputs[ri]
 			req.Region.Space.Each(func(p geometry.Point) bool {
@@ -105,7 +105,7 @@ func (e *Engine) Launch(t *Task, k Kernel) *Result {
 				return true
 			})
 			e.committed[commitKey{t.ID, ri}] = out
-		case privilege.Reduce:
+		case req.Priv.IsReduce():
 			op := req.Priv.Op
 			out := data.NewStore(req.Region.Space.Dim())
 			req.Region.Space.Each(func(p geometry.Point) bool {
@@ -129,15 +129,15 @@ func (e *Engine) materialize(req Req, plan []Visible) *data.Store {
 	in := data.NewStore(req.Region.Space.Dim())
 	for _, v := range plan {
 		src := e.source(v, req.Field)
-		switch v.Priv.Kind {
-		case privilege.ReadWrite:
+		switch {
+		case v.Priv.IsWrite():
 			v.Pts.Each(func(p geometry.Point) bool {
 				if val, ok := src.Get(p); ok {
 					in.Set(p, val)
 				}
 				return true
 			})
-		case privilege.Reduce:
+		case v.Priv.IsReduce():
 			op := v.Priv.Op
 			v.Pts.Each(func(p geometry.Point) bool {
 				contrib, ok := src.Get(p)

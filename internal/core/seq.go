@@ -43,6 +43,7 @@ type Seq struct {
 // per field. The stores are cloned; the caller's copies are not mutated.
 func NewSeq(tree *region.Tree, init map[field.ID]*data.Store) *Seq {
 	g := make(map[field.ID]*data.Store, len(init))
+	//vislint:ignore detrange cloning a map into a map is order-insensitive
 	for f, s := range init {
 		g[f] = s.Clone()
 	}
@@ -67,7 +68,7 @@ func (s *Seq) RunBody(t *Task, k Kernel, body func(inputs []*data.Store)) {
 		if g == nil {
 			panic(fmt.Sprintf("core: no initial data for field %d", req.Field))
 		}
-		if req.Priv.Kind != privilege.Reduce {
+		if !req.Priv.IsReduce() {
 			inputs[ri] = g.Restrict(req.Region.Space)
 		}
 	}
@@ -81,8 +82,8 @@ func (s *Seq) RunBody(t *Task, k Kernel, body func(inputs []*data.Store)) {
 	// applied in requirement order by every engine.
 	for ri, req := range t.Reqs {
 		g := s.global[req.Field]
-		switch req.Priv.Kind {
-		case privilege.ReadWrite:
+		switch {
+		case req.Priv.IsWrite():
 			in := inputs[ri]
 			req.Region.Space.Each(func(p geometry.Point) bool {
 				cur, ok := in.Get(p)
@@ -95,7 +96,7 @@ func (s *Seq) RunBody(t *Task, k Kernel, body func(inputs []*data.Store)) {
 				g.Set(p, k.WriteValue(t, ri, p, cur))
 				return true
 			})
-		case privilege.Reduce:
+		case req.Priv.IsReduce():
 			op := req.Priv.Op
 			req.Region.Space.Each(func(p geometry.Point) bool {
 				contrib := privilege.Apply(op, privilege.Identity(op), k.ReduceValue(t, ri, p))

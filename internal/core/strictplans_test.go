@@ -24,7 +24,7 @@ func (f *planFaker) Stats() *core.Stats { return &f.stats }
 func (f *planFaker) Analyze(t *core.Task) *core.Result {
 	plans := make([][]core.Visible, len(t.Reqs))
 	for ri, req := range t.Reqs {
-		if req.Priv.Kind != privilege.Reduce {
+		if !req.Priv.IsReduce() {
 			plans[ri] = f.plan(t, req)
 		}
 	}

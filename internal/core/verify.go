@@ -66,7 +66,7 @@ func Verify(stream *Stream, init map[field.ID]*data.Store, k Kernel, factories .
 			want := seq.Inputs[t.ID]
 			have := eng.Inputs[t.ID]
 			for ri, req := range t.Reqs {
-				if req.Priv.Kind == privilege.Reduce {
+				if req.Priv.IsReduce() {
 					continue
 				}
 				if !want[ri].Equal(have[ri]) {

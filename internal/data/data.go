@@ -134,30 +134,29 @@ func (s *Store) Diff(o *Store) string {
 // Op is one operation on a single element, as in §3.1: a write w_x, a
 // reduction f_x, or a read r.
 type Op struct {
-	Kind  privilege.Kind
-	Rop   privilege.ReduceOp // for Kind == Reduce
-	Value float64            // for writes and reductions
+	Priv  privilege.Privilege
+	Value float64 // for writes and reductions
 }
 
 // WriteOp returns a write of x.
-func WriteOp(x float64) Op { return Op{Kind: privilege.ReadWrite, Value: x} }
+func WriteOp(x float64) Op { return Op{Priv: privilege.Writes(), Value: x} }
 
 // ReduceOpOf returns a reduction f_x.
 func ReduceOpOf(op privilege.ReduceOp, x float64) Op {
-	return Op{Kind: privilege.Reduce, Rop: op, Value: x}
+	return Op{Priv: privilege.Reduces(op), Value: x}
 }
 
 // ReadOp returns a read.
-func ReadOp() Op { return Op{Kind: privilege.Read} }
+func ReadOp() Op { return Op{Priv: privilege.Reads()} }
 
 // BlendOne applies one operation to the current value v: b(w_x, v) = x,
 // b(f_x, v) = f(x, v), b(r, v) = v.
 func BlendOne(o Op, v float64) float64 {
-	switch o.Kind {
-	case privilege.ReadWrite:
+	switch {
+	case o.Priv.IsWrite():
 		return o.Value
-	case privilege.Reduce:
-		return privilege.Apply(o.Rop, v, o.Value)
+	case o.Priv.IsReduce():
+		return privilege.Apply(o.Priv.Op, v, o.Value)
 	default:
 		return v
 	}

@@ -10,10 +10,10 @@ import (
 // phase without re-plumbing events.
 type Barrier struct {
 	mu        sync.Mutex
-	arrivals  int
-	remaining int
-	ev        *Event
-	next      *Barrier
+	arrivals  int      // guarded by mu
+	remaining int      // guarded by mu
+	ev        *Event   // guarded by mu
+	next      *Barrier // guarded by mu
 }
 
 // NewBarrier creates a barrier expecting the given number of arrivals per

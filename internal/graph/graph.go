@@ -129,18 +129,31 @@ func (d *DAG) AverageParallelism() float64 {
 
 // WriteDOT exports the DAG in Graphviz format.
 func (d *DAG) WriteDOT(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "digraph deps {"); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "  rankdir=TB; node [shape=box, fontsize=10];")
+	pw := &printer{w: w}
+	pw.printf("digraph deps {\n")
+	pw.printf("  rankdir=TB; node [shape=box, fontsize=10];\n")
 	for i, t := range d.Tasks {
-		fmt.Fprintf(w, "  t%d [label=%q];\n", i, t.String())
+		pw.printf("  t%d [label=%q];\n", i, t.String())
 	}
 	for i, ds := range d.Deps {
 		for _, p := range ds {
-			fmt.Fprintf(w, "  t%d -> t%d;\n", p, i)
+			pw.printf("  t%d -> t%d;\n", p, i)
 		}
 	}
-	_, err := fmt.Fprintln(w, "}")
-	return err
+	pw.printf("}\n")
+	return pw.err
+}
+
+// printer accumulates formatted output to an io.Writer, holding the first
+// write error so WriteDOT can check once at the end instead of after every
+// line.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
 }

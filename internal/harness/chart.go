@@ -110,13 +110,14 @@ func WriteChart(w io.Writer, results []*Result, metric string) error {
 		}
 	}
 
-	fmt.Fprintf(w, "# %s (log-log; * = overlapping series)\n", unit)
+	pw := &printer{w: w}
+	pw.printf("# %s (log-log; * = overlapping series)\n", unit)
 	for r := 0; r < rows; r++ {
 		frac := 1 - float64(r)/float64(rows-1)
 		val := math.Pow(10, logLo+frac*(logHi-logLo))
-		fmt.Fprintf(w, "%10.3g |%s\n", val, string(grid[r]))
+		pw.printf("%10.3g |%s\n", val, string(grid[r]))
 	}
-	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width))
+	pw.printf("%10s +%s\n", "", strings.Repeat("-", width))
 	var axis strings.Builder
 	axis.WriteString(strings.Repeat(" ", 11))
 	for i, n := range nodes {
@@ -127,7 +128,7 @@ func WriteChart(w io.Writer, results []*Result, metric string) error {
 		}
 		axis.WriteString(label)
 	}
-	fmt.Fprintln(w, axis.String())
-	fmt.Fprintf(w, "%10s  nodes    %s\n", "", strings.Join(legend, "  "))
-	return nil
+	pw.printf("%s\n", axis.String())
+	pw.printf("%10s  nodes    %s\n", "", strings.Join(legend, "  "))
+	return pw.err
 }

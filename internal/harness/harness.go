@@ -312,16 +312,17 @@ func WriteFigure(w io.Writer, results []*Result, metric string) error {
 	if metric == "weak" {
 		label = fmt.Sprintf("throughput per node (%s/s)", unit)
 	}
-	fmt.Fprintf(w, "# %s\n", label)
-	fmt.Fprintf(w, "%-7s", "nodes")
+	pw := &printer{w: w}
+	pw.printf("# %s\n", label)
+	pw.printf("%-7s", "nodes")
 	for _, sys := range order {
 		if byCell[sys] != nil {
-			fmt.Fprintf(w, " %14s", strings.ReplaceAll(sys, "_", ","))
+			pw.printf(" %14s", strings.ReplaceAll(sys, "_", ","))
 		}
 	}
-	fmt.Fprintln(w)
+	pw.printf("\n")
 	for _, n := range nodes {
-		fmt.Fprintf(w, "%-7d", n)
+		pw.printf("%-7d", n)
 		for _, sys := range order {
 			cell := byCell[sys]
 			if cell == nil {
@@ -329,16 +330,30 @@ func WriteFigure(w io.Writer, results []*Result, metric string) error {
 			}
 			r, ok := cell[n]
 			if !ok {
-				fmt.Fprintf(w, " %14s", "-")
+				pw.printf(" %14s", "-")
 				continue
 			}
 			v := r.InitTime
 			if metric == "weak" {
 				v = r.ThroughputPerNode
 			}
-			fmt.Fprintf(w, " %14.4g", v)
+			pw.printf(" %14.4g", v)
 		}
-		fmt.Fprintln(w)
+		pw.printf("\n")
 	}
-	return nil
+	return pw.err
+}
+
+// printer accumulates formatted output to an io.Writer, holding the first
+// write error so report generators can check once at the end instead of
+// after every line.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
 }

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring golang.org/x/tools/go/analysis
+// in miniature.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Match restricts which packages the driver runs this analyzer on
+	// (nil means every package). It receives the import path with any
+	// "_test" suffix stripped, so an analyzer scoped to a package also
+	// covers its external tests.
+	Match func(pkgPath string) bool
+	Run   func(*Pass) error
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ModulePath string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Interferecheck, Guardedby, Detrange, Errchecklite}
+}
+
+// Run applies every matching analyzer to every package, filters
+// directive-suppressed findings, and returns the remainder sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg)
+		matchPath := strings.TrimSuffix(pkg.Path, "_test")
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(matchPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+				Pkg: pkg.Types, Info: pkg.Info, ModulePath: pkg.ModulePath,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !ig.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreDirective matches "//vislint:ignore name[,name...] [reason]".
+var ignoreDirective = regexp.MustCompile(`^//vislint:ignore\s+([\w,]+)`)
+
+// ignores maps file:line to the analyzer names suppressed there.
+type ignores map[string]map[string]bool
+
+// collectIgnores scans a package's comments for vislint:ignore directives.
+// A directive suppresses matching diagnostics on its own line and on the
+// following line (so it can sit above a statement or trail it).
+func collectIgnores(pkg *Package) ignores {
+	ig := make(ignores)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if ig[key] == nil {
+							ig[key] = make(map[string]bool)
+						}
+						ig[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignores) suppressed(d Diagnostic) bool {
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	return ig[key][d.Analyzer] || ig[key]["all"]
+}

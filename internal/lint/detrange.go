@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrange flags `range` over a map in the analyzer hot paths.
+//
+// The painter, Warnock, and raycast analyzers produce ordered histories
+// and dependence lists; core.Engine and core.Seq consume them and the
+// cross-checker compares runs byte for byte. Go randomizes map iteration
+// order on every range, so a map range anywhere on these paths can emit
+// dependences (or painter history entries, or equivalence-set ids) in a
+// different order run to run — the bug reproduces only intermittently
+// and only as a cross-check mismatch far from its cause. Iterate a
+// sorted key slice instead. A loop that is provably order-insensitive
+// (e.g. cloning a map into another map) may carry a
+// "//vislint:ignore detrange <why>" directive.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "forbid range over maps in analyzer hot paths (map order is nondeterministic)",
+	Match: func(path string) bool {
+		switch pkgTail(path) {
+		case "paint", "warnock", "raycast", "core":
+			return true
+		}
+		return false
+	},
+	Run: runDetrange,
+}
+
+func runDetrange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.For,
+					"range over map %s in a hot path: iteration order is nondeterministic and can reorder emitted dependences; iterate sorted keys instead", t)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errchecklite flags expression statements that drop an error returned by
+// the module's own API (core.Verify, checkpoint I/O, harness writers, ...)
+// or by fmt.Fprint* writing to a fallible writer.
+//
+// core.Verify's whole purpose is its error; a dropped checkpoint or
+// report-writer error turns a failed experiment into a silently truncated
+// file. The check is deliberately narrow — it does not chase every
+// stdlib error like a full errcheck — so that it stays zero-noise:
+//
+//   - any call whose result tuple includes an error and whose callee is
+//     declared in this module must be consumed;
+//   - fmt.Fprint/Fprintf/Fprintln must be consumed unless the writer is
+//     os.Stdout, os.Stderr, a *strings.Builder, or a *bytes.Buffer (whose
+//     Write cannot fail).
+//
+// Assigning to blank ("_ = f()") is an explicit, greppable opt-out and is
+// not flagged.
+var Errchecklite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "report dropped error returns from the module's own API and from fmt.Fprint* to fallible writers",
+	Run:  runErrchecklite,
+}
+
+func runErrchecklite(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkDroppedError(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDroppedError(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	if !resultsIncludeError(sig.Results()) {
+		return
+	}
+	obj := calleeObject(pass, call)
+	if obj == nil {
+		return
+	}
+	name := obj.Name()
+	switch {
+	case isModuleObject(pass, obj):
+		pass.Reportf(call.Pos(), "result of %s is dropped: the error return is the call's contract; handle it or assign to _ explicitly", name)
+	case isFprint(obj) && writerIsFallible(pass, call):
+		pass.Reportf(call.Pos(), "error from fmt.%s to a fallible writer is dropped; a failed write silently truncates output", name)
+	}
+}
+
+func resultsIncludeError(res *types.Tuple) bool {
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the function or method object a call invokes, or
+// nil for dynamic calls (function values, interface methods on unnamed
+// callees).
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return pass.Info.Uses[fun.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// isModuleObject reports whether obj is declared in the package under
+// analysis or elsewhere in the same module.
+func isModuleObject(pass *Pass, obj types.Object) bool {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg == pass.Pkg {
+		return true
+	}
+	return pass.ModulePath != "" &&
+		(pkg.Path() == pass.ModulePath || strings.HasPrefix(pkg.Path(), pass.ModulePath+"/"))
+}
+
+func isFprint(obj types.Object) bool {
+	if obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch obj.Name() {
+	case "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// writerIsFallible reports whether the first argument of an fmt.Fprint*
+// call can actually fail: os.Stdout/os.Stderr and in-memory builders are
+// exempt.
+func writerIsFallible(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	w := ast.Unparen(call.Args[0])
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return false
+			}
+		}
+	}
+	t := pass.Info.TypeOf(w)
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full == "strings.Builder" || full == "bytes.Buffer" {
+				return false
+			}
+		}
+	}
+	return true
+}

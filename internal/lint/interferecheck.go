@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Interferecheck flags direct comparison or switch on privilege.Kind or
+// privilege.Privilege values outside the privilege package.
+//
+// The interference relation (paper §4) is the single arbiter of whether
+// two privileges order tasks; read/read and reduce(f)/reduce(f) are its
+// only non-interfering pairs. Code that compares Kind values directly
+// re-derives fragments of that relation ad hoc, and silently goes stale
+// when a new privilege kind (or a refinement like write-discard) is
+// added. All interference decisions must go through
+// privilege.Interferes, and kind dispatch through the IsRead/IsWrite/
+// IsReduce/Mutates/Same accessors, so the relation lives in exactly one
+// place.
+var Interferecheck = &Analyzer{
+	Name: "interferecheck",
+	Doc:  "forbid ad-hoc comparison/switch on privilege.Kind and privilege.Privilege outside package privilege",
+	Run:  runInterferecheck,
+}
+
+// isPrivilegePkgPath reports whether path is the privilege package (or a
+// testdata stand-in imported as plain "privilege").
+func isPrivilegePkgPath(path string) bool {
+	return path == "privilege" || strings.HasSuffix(path, "/privilege")
+}
+
+// privilegeTypeName returns "Kind" or "Privilege" when t is one of the
+// privilege package's restricted types (possibly via alias).
+func privilegeTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || !isPrivilegePkgPath(obj.Pkg().Path()) {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Kind", "Privilege":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+func runInterferecheck(pass *Pass) error {
+	if isPrivilegePkgPath(pass.Pkg.Path()) {
+		// The relation's own definition is the one legitimate home for
+		// raw comparisons.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				name, ok := privilegeTypeName(pass.Info.TypeOf(n.X))
+				if !ok {
+					name, ok = privilegeTypeName(pass.Info.TypeOf(n.Y))
+				}
+				if ok {
+					pass.Reportf(n.OpPos,
+						"comparison of privilege.%s values outside package privilege; use privilege.Interferes or the IsRead/IsWrite/IsReduce/Mutates/Same accessors", name)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if name, ok := privilegeTypeName(pass.Info.TypeOf(n.Tag)); ok {
+					pass.Reportf(n.Switch,
+						"switch on privilege.%s outside package privilege; dispatch through the privilege accessors so new kinds cannot fall through silently", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

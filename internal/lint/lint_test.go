@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func pos(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+// TestAnalyzers runs every analyzer against its seeded-violation fixture
+// under testdata/<name>; the fixtures' "// want" comments pin both the
+// violations each check must catch and the sanctioned patterns it must
+// stay silent on.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{Interferecheck, "testdata/interferecheck"},
+		{Guardedby, "testdata/guardedby"},
+		{Detrange, "testdata/detrange"},
+		{Errchecklite, "testdata/errchecklite"},
+	}
+	if len(tests) != len(All()) {
+		t.Fatalf("fixture table covers %d analyzers, All() has %d", len(tests), len(All()))
+	}
+	for _, tt := range tests {
+		t.Run(tt.analyzer.Name, func(t *testing.T) {
+			RunTest(t, tt.analyzer, tt.dir)
+		})
+	}
+}
+
+// TestMatchPolicies pins which packages each scoped analyzer runs on; a
+// policy that silently widens or narrows would either spam unrelated
+// packages or stop guarding the hot paths.
+func TestMatchPolicies(t *testing.T) {
+	tests := []struct {
+		analyzer *Analyzer
+		path     string
+		want     bool
+	}{
+		{Guardedby, "visibility/internal/sched", true},
+		{Guardedby, "visibility/internal/event", true},
+		{Guardedby, "visibility/internal/cluster", true},
+		{Guardedby, "visibility/internal/harness", true},
+		{Guardedby, "visibility/internal/core", false},
+		{Detrange, "visibility/internal/paint", true},
+		{Detrange, "visibility/internal/warnock", true},
+		{Detrange, "visibility/internal/raycast", true},
+		{Detrange, "visibility/internal/core", true},
+		{Detrange, "visibility/internal/sched", false},
+		{Detrange, "visibility", false},
+	}
+	for _, tt := range tests {
+		if got := tt.analyzer.Match(tt.path); got != tt.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", tt.analyzer.Name, tt.path, got, tt.want)
+		}
+	}
+	for _, a := range []*Analyzer{Interferecheck, Errchecklite} {
+		if a.Match != nil {
+			t.Errorf("%s should run module-wide (Match == nil)", a.Name)
+		}
+	}
+}
+
+// TestLoadModule loads this module's privilege package (and an external
+// test variant elsewhere) through the real go-list-backed loader, the same
+// path cmd/vislint takes.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	pkgs, err := Load("../..", "./internal/privilege", "./internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, want := range []string{
+		"visibility/internal/privilege",
+		"visibility/internal/core",
+		"visibility/internal/core_test", // external test package, checked separately
+	} {
+		p, ok := byPath[want]
+		if !ok {
+			t.Fatalf("Load returned no package %q (got %v)", want, paths(pkgs))
+		}
+		if len(p.Files) == 0 || p.Types == nil {
+			t.Errorf("package %q loaded without files or type information", want)
+		}
+	}
+	// The test-augmented variant replaces the plain package: privilege has
+	// in-package tests, so its entry must include them.
+	priv := byPath["visibility/internal/privilege"]
+	found := false
+	for _, f := range priv.Files {
+		if strings.HasSuffix(priv.Fset.Position(f.Pos()).Filename, "privilege_test.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("privilege package was loaded without its in-package test files")
+	}
+}
+
+func paths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+// TestIgnoreDirective pins the suppression contract: a directive names its
+// analyzer and covers its own line plus the next.
+func TestIgnoreDirective(t *testing.T) {
+	ig := ignores{
+		"f.go:10": {"detrange": true},
+		"f.go:11": {"detrange": true},
+		"g.go:5":  {"all": true},
+	}
+	tests := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{Diagnostic{Pos: pos("f.go", 10), Analyzer: "detrange"}, true},
+		{Diagnostic{Pos: pos("f.go", 11), Analyzer: "detrange"}, true},
+		{Diagnostic{Pos: pos("f.go", 12), Analyzer: "detrange"}, false},
+		{Diagnostic{Pos: pos("f.go", 10), Analyzer: "guardedby"}, false},
+		{Diagnostic{Pos: pos("g.go", 5), Analyzer: "errchecklite"}, true},
+	}
+	for _, tt := range tests {
+		if got := ig.suppressed(tt.d); got != tt.want {
+			t.Errorf("suppressed(%s:%d %s) = %v, want %v",
+				tt.d.Pos.Filename, tt.d.Pos.Line, tt.d.Analyzer, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package a seeds detrange violations: map iteration in what the real
+// suite would treat as a hot path.
+package a
+
+func sumMap(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map map\[string\]int in a hot path`
+		total += v
+	}
+	return total
+}
+
+type table map[int]bool
+
+func namedMapType(t table) int {
+	n := 0
+	for range t { // want `range over map .*table in a hot path`
+		n++
+	}
+	return n
+}
+
+// orderedIteration over slices, strings, and channels is fine.
+func orderedIteration(s []int, str string, ch chan int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	for range str {
+		total++
+	}
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func cloneSuppressed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//vislint:ignore detrange cloning into another map is order-insensitive
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

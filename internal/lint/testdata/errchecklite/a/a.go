@@ -1,0 +1,52 @@
+// Package a seeds errchecklite violations: dropped error returns from the
+// package's own API and from fmt.Fprint* to fallible writers.
+package a
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func verify() error        { return errors.New("violation") }
+func launch() (int, error) { return 0, nil }
+func count() int           { return 0 }
+func pair() (int, string)  { return 0, "" }
+
+func dropped() {
+	verify() // want `result of verify is dropped`
+	launch() // want `result of launch is dropped`
+}
+
+func handled() error {
+	if err := verify(); err != nil {
+		return err
+	}
+	_, err := launch()
+	if err != nil {
+		return err
+	}
+	_ = verify() // explicit opt-out: not flagged
+	count()      // no error in the result tuple: not flagged
+	pair()       // no error in the result tuple: not flagged
+	return nil
+}
+
+func writes(w io.Writer, f *os.File) {
+	fmt.Fprintf(w, "x")  // want `error from fmt\.Fprintf to a fallible writer is dropped`
+	fmt.Fprintln(f, "x") // want `error from fmt\.Fprintln to a fallible writer is dropped`
+}
+
+func exemptWriters() string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	fmt.Fprintf(&b, "x")         // *strings.Builder cannot fail
+	fmt.Fprintf(&buf, "x")       // *bytes.Buffer cannot fail
+	fmt.Fprintln(os.Stdout, "x") // terminal streams are exempt
+	fmt.Fprintln(os.Stderr, "x")
+	fmt.Println("x") // Print*, not Fprint*: out of scope
+	return b.String()
+}

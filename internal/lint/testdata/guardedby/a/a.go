@@ -1,0 +1,68 @@
+// Package a seeds guardedby violations: annotated fields touched without
+// their mutex held.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+
+	// guarded by mu
+	n int
+
+	hits int // guarded by mu
+
+	free int // unannotated: never reported
+
+	bad int // guarded by lock // want `annotated 'guarded by lock' but counter has no field lock`
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.hits
+}
+
+func (c *counter) unlocked() int {
+	c.n++ // want `access to counter\.n \(guarded by mu\) without holding c\.mu`
+	return c.free
+}
+
+func (c *counter) unlockEarly() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.hits // want `access to counter\.hits \(guarded by mu\) without holding c\.mu`
+}
+
+func (c *counter) branches(b bool) {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return
+	}
+	c.n++ // still held on this path
+	c.mu.Unlock()
+}
+
+func (c *counter) branchLoses(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `access to counter\.n \(guarded by mu\) without holding c\.mu`
+}
+
+func (c *counter) inGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.hits++ // want `access to counter\.hits \(guarded by mu\) without holding c\.mu`
+	}()
+	c.n++
+}
+
+// bumpLocked is exempt by convention: callers hold the guard.
+func (c *counter) bumpLocked() {
+	c.n++
+}

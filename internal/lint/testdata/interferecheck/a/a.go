@@ -1,0 +1,42 @@
+// Package a seeds interferecheck violations: ad-hoc comparisons and
+// switches on privilege types outside the privilege package.
+package a
+
+import "privilege"
+
+func compareKinds(p, q privilege.Privilege) bool {
+	if p.Kind == q.Kind { // want `comparison of privilege\.Kind values outside package privilege`
+		return true
+	}
+	return p.Kind != privilege.Read // want `comparison of privilege\.Kind values outside package privilege`
+}
+
+func comparePrivileges(p, q privilege.Privilege) bool {
+	return p == q // want `comparison of privilege\.Privilege values outside package privilege`
+}
+
+func switchOnKind(p privilege.Privilege) int {
+	switch p.Kind { // want `switch on privilege\.Kind outside package privilege`
+	case privilege.Read:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// throughRelation is the sanctioned style: no diagnostics.
+func throughRelation(p, q privilege.Privilege) bool {
+	if p.IsRead() {
+		return false
+	}
+	return privilege.Interferes(p, q)
+}
+
+// otherComparisons of non-privilege types stay silent.
+func otherComparisons(a, b int, s string) bool {
+	switch s {
+	case "x":
+		return a == b
+	}
+	return a != b
+}

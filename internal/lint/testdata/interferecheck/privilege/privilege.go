@@ -1,0 +1,27 @@
+// Package privilege is a stand-in for visibility/internal/privilege so
+// interferecheck fixtures can exercise the real matching logic (the
+// analyzer recognizes any package whose import path ends in "privilege").
+package privilege
+
+type Kind int
+
+const (
+	Read Kind = iota
+	ReadWrite
+	Reduce
+)
+
+type Privilege struct {
+	Kind Kind
+}
+
+func Reads() Privilege  { return Privilege{Kind: Read} }
+func Writes() Privilege { return Privilege{Kind: ReadWrite} }
+
+// Interferes may compare kinds freely: this package is the one legitimate
+// home of the relation.
+func Interferes(p, q Privilege) bool {
+	return p.Kind != Read || q.Kind != Read
+}
+
+func (p Privilege) IsRead() bool { return p.Kind == Read }

@@ -69,7 +69,7 @@ func (n *Naive) Analyze(t *Task) *core.Result {
 				deps = append(deps, e.Task)
 				n.stats.DepsReported++
 			}
-			if req.Priv.Kind != privilege.Reduce && e.Priv.Mutates() {
+			if !req.Priv.IsReduce() && e.Priv.Mutates() {
 				plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: inter})
 			}
 		}

@@ -156,7 +156,7 @@ func (pa *Painter) Analyze(t *core.Task) *core.Result {
 			deps, plan = pa.scanItems(ns.hist, req, deps, plan)
 			pa.opts.Probe.Touch(core.LocalOwner, pa.stats.EntriesScanned-before+1)
 		}
-		if req.Priv.Kind == privilege.Reduce {
+		if req.Priv.IsReduce() {
 			plan = nil
 		}
 		plans[ri] = plan
@@ -354,7 +354,7 @@ func (pa *Painter) scanItems(items []item, req core.Req, deps []int, plan []core
 			deps = append(deps, e.Task)
 			pa.stats.DepsReported++
 		}
-		if req.Priv.Kind != privilege.Reduce && e.Priv.Mutates() {
+		if !req.Priv.IsReduce() && e.Priv.Mutates() {
 			plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: inter})
 		}
 	}

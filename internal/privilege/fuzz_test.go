@@ -1,0 +1,60 @@
+package privilege
+
+import (
+	"testing"
+)
+
+// decodePrivilege builds a privilege from one fuzz byte, covering every
+// kind, every operator, and ill-formed combinations (a reduce op on a
+// non-reduce privilege, OpNone on a reduce) the constructors never emit.
+func decodePrivilege(b byte) Privilege {
+	p := Privilege{Kind: Kind(b % 3), Op: ReduceOp(int(b/3) % 5)}
+	return p
+}
+
+// FuzzInterferes checks the interference relation against its §4
+// specification on arbitrary privilege pairs: the only non-interfering
+// combinations are read/read and reduce/reduce with one operator, the
+// relation is symmetric, self-interference is exactly write-ness, and a
+// single-entry Summary agrees with the pairwise relation.
+func FuzzInterferes(f *testing.F) {
+	f.Add(byte(0), byte(0))   // read vs read
+	f.Add(byte(1), byte(2))   // write vs reduce
+	f.Add(byte(5), byte(5))   // reduce(sum) vs reduce(sum)
+	f.Add(byte(5), byte(8))   // reduce(sum) vs reduce(prod)
+	f.Add(byte(2), byte(14))  // reduce(none) vs reduce(max)
+	f.Add(byte(255), byte(0)) // high bytes wrap
+	f.Fuzz(func(t *testing.T, pb, qb byte) {
+		p, q := decodePrivilege(pb), decodePrivilege(qb)
+
+		want := true
+		switch {
+		case p.Kind == Read && q.Kind == Read:
+			want = false
+		case p.Kind == Reduce && q.Kind == Reduce && p.Op == q.Op:
+			want = false
+		}
+		if got := Interferes(p, q); got != want {
+			t.Fatalf("Interferes(%v, %v) = %v, want %v", p, q, got, want)
+		}
+		if Interferes(p, q) != Interferes(q, p) {
+			t.Fatalf("Interferes(%v, %v) is not symmetric", p, q)
+		}
+		// A privilege interferes with itself exactly when it can
+		// overwrite: reads observe, reductions of one operator commute.
+		if Interferes(p, p) != p.IsWrite() {
+			t.Fatalf("Interferes(%v, %v) = %v, want IsWrite = %v", p, p, Interferes(p, p), p.IsWrite())
+		}
+		// Same privileges never interfere unless they write.
+		if p.Same(q) && Interferes(p, q) != p.IsWrite() {
+			t.Fatalf("identical privileges %v: Interferes = %v, IsWrite = %v", p, Interferes(p, q), p.IsWrite())
+		}
+		// A summary holding only p must agree with the pairwise relation.
+		s := NewSummary()
+		s.Add(p)
+		if s.Interferes(q) != Interferes(p, q) {
+			t.Fatalf("Summary{%v}.Interferes(%v) = %v, Interferes = %v",
+				p, q, s.Interferes(q), Interferes(p, q))
+		}
+	})
+}

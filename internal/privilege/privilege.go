@@ -99,6 +99,13 @@ func (p Privilege) IsReduce() bool { return p.Kind == Reduce }
 // must observe.
 func (p Privilege) Mutates() bool { return p.Kind != Read }
 
+// Same reports whether p and q are the identical privilege (same kind and,
+// for reductions, the same operator). Code outside this package must use
+// Same rather than comparing Privilege values with ==, so that any future
+// field added here (e.g. a write-discard refinement) cannot silently fall
+// out of the comparison.
+func (p Privilege) Same(q Privilege) bool { return p == q }
+
 func (p Privilege) String() string {
 	if p.Kind == Reduce {
 		return "reduce" + p.Op.String()

@@ -32,6 +32,69 @@ func TestInterferes(t *testing.T) {
 	}
 }
 
+func TestInterferesEdgeCases(t *testing.T) {
+	ops := []ReduceOp{OpSum, OpProd, OpMin, OpMax}
+
+	// Reductions interfere exactly when their operators differ: sum and
+	// min do not commute with each other, but each commutes with itself.
+	for _, f := range ops {
+		for _, g := range ops {
+			want := f != g
+			if got := Interferes(Reduces(f), Reduces(g)); got != want {
+				t.Errorf("Interferes(reduce%v, reduce%v) = %v, want %v", f, g, got, want)
+			}
+		}
+	}
+
+	// A reduction interferes with both reads (the read must see the folded
+	// value) and writes (the write occludes the accumulation), regardless
+	// of operator.
+	for _, f := range ops {
+		if !Interferes(Reduces(f), Reads()) || !Interferes(Reads(), Reduces(f)) {
+			t.Errorf("reduce%v vs read should interfere", f)
+		}
+		if !Interferes(Reduces(f), Writes()) || !Interferes(Writes(), Reduces(f)) {
+			t.Errorf("reduce%v vs write should interfere", f)
+		}
+	}
+
+	// The zero Privilege value is a read (Kind zero value is Read): it
+	// must behave exactly like Reads() under interference.
+	var zero Privilege
+	if !zero.IsRead() {
+		t.Fatalf("zero Privilege should be a read, got %v", zero)
+	}
+	if Interferes(zero, Reads()) || Interferes(zero, zero) {
+		t.Error("zero privilege should not interfere with reads")
+	}
+	if !Interferes(zero, Writes()) || !Interferes(zero, Reduces(OpSum)) {
+		t.Error("zero privilege should interfere with mutators")
+	}
+}
+
+func TestSame(t *testing.T) {
+	cases := []struct {
+		p, q Privilege
+		want bool
+	}{
+		{Reads(), Reads(), true},
+		{Writes(), Writes(), true},
+		{Reduces(OpSum), Reduces(OpSum), true},
+		{Reduces(OpSum), Reduces(OpMin), false},
+		{Reads(), Writes(), false},
+		{Writes(), Reduces(OpSum), false},
+		{Reads(), Privilege{}, true}, // zero value is the read privilege
+	}
+	for _, c := range cases {
+		if got := c.p.Same(c.q); got != c.want {
+			t.Errorf("(%v).Same(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.q.Same(c.p); got != c.want {
+			t.Errorf("(%v).Same(%v) = %v, want %v (symmetry)", c.q, c.p, got, c.want)
+		}
+	}
+}
+
 func TestPredicates(t *testing.T) {
 	if !Writes().IsWrite() || !Writes().Mutates() || Writes().IsRead() || Writes().IsReduce() {
 		t.Error("Writes predicates wrong")

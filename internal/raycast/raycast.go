@@ -17,6 +17,8 @@
 package raycast
 
 import (
+	"sort"
+
 	"visibility/internal/bvh"
 	"visibility/internal/core"
 	"visibility/internal/field"
@@ -98,8 +100,8 @@ func (rc *RayCast) SetSpaces(f field.ID) []index.Space {
 	}
 	var out []index.Space
 	if fs.dcp == nil {
-		for _, s := range fs.kdSets {
-			out = append(out, s.pts)
+		for _, id := range sortedIntKeys(fs.kdSets) {
+			out = append(out, fs.kdSets[id].pts)
 		}
 		return out
 	}
@@ -369,12 +371,12 @@ func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 					deps = append(deps, e.Task)
 					rc.stats.DepsReported++
 				}
-				if req.Priv.Kind != privilege.Reduce && e.Priv.Mutates() {
+				if !req.Priv.IsReduce() && e.Priv.Mutates() {
 					plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: s.pts})
 				}
 			}
 		}
-		if req.Priv.Kind == privilege.Reduce {
+		if req.Priv.IsReduce() {
 			plan = nil
 		}
 		plans[ri] = plan
@@ -418,7 +420,7 @@ func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 func privRuns(hist []core.Entry) int64 {
 	var runs int64
 	for i, e := range hist {
-		if i == 0 || e.Priv != hist[i-1].Priv {
+		if i == 0 || !e.Priv.Same(hist[i-1].Priv) {
 			runs++
 		}
 	}
@@ -446,8 +448,11 @@ func (rc *RayCast) dominatingWrite(fs *fieldState, sp index.Space, e core.Entry,
 	}
 	if fs.dcp != nil {
 		// One coalesced set per piece the write covers: the union of the
-		// pruned sets in that bucket (= piece ∩ write region).
-		for bi, part := range buckets {
+		// pruned sets in that bucket (= piece ∩ write region). Bucket order
+		// fixes the new sets' ids, which downstream scans report in: iterate
+		// sorted so two runs of the same stream emit identical output.
+		for _, bi := range sortedIntKeys(buckets) {
+			part := buckets[bi]
 			se := e
 			se.Pts = part
 			ns := &eqset{id: fs.nextID, pts: part, hist: []core.Entry{se}, bucket: bi}
@@ -462,4 +467,16 @@ func (rc *RayCast) dominatingWrite(fs *fieldState, sp index.Space, e core.Entry,
 	ns := &eqset{pts: sp, hist: []core.Entry{e}}
 	rc.kdInsert(fs, ns)
 	rc.stats.SetsCreated++
+}
+
+// sortedIntKeys returns m's keys in ascending order, making iteration over
+// the map's contents deterministic.
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	//vislint:ignore detrange collecting keys to sort is order-insensitive
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -31,20 +31,20 @@ type Executor struct {
 	next  int
 
 	mu        sync.Mutex
-	committed map[commitKey]*data.Store
-	events    map[int]*event.Event
-	all       []*event.Event
+	committed map[commitKey]*data.Store // guarded by mu
+	events    map[int]*event.Event      // guarded by mu
+	all       []*event.Event            // guarded by mu
 
 	// Physical-instance cache: two materializations driven by identical
 	// plans produce identical contents, so the store can be reused
 	// instead of re-copied — the analog of Legion reusing a valid
 	// physical instance instead of issuing copies. Materialized stores
 	// are immutable by construction (kernels write fresh output stores).
-	instances map[instanceKey]*data.Store
-	instanceQ []instanceKey // FIFO eviction order
+	instances map[instanceKey]*data.Store // guarded by mu
+	instanceQ []instanceKey               // guarded by mu; FIFO eviction order
 	maxCached int
-	CacheHits int64
-	CacheMiss int64
+	cacheHits int64 // guarded by mu
+	cacheMiss int64 // guarded by mu
 }
 
 type commitKey struct {
@@ -115,7 +115,7 @@ func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.
 	done := proc.Spawn(pre, func() {
 		inputs := make([]*data.Store, len(t.Reqs))
 		for ri, req := range t.Reqs {
-			if req.Priv.Kind != privilege.Reduce {
+			if !req.Priv.IsReduce() {
 				inputs[ri] = x.materialize(req, res.Plans[ri])
 			}
 		}
@@ -123,8 +123,8 @@ func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.
 			body(inputs)
 		}
 		for ri, req := range t.Reqs {
-			switch req.Priv.Kind {
-			case privilege.ReadWrite:
+			switch {
+			case req.Priv.IsWrite():
 				out := data.NewStore(req.Region.Space.Dim())
 				in := inputs[ri]
 				req.Region.Space.Each(func(p geometry.Point) bool {
@@ -136,7 +136,7 @@ func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.
 					return true
 				})
 				x.commit(t.ID, ri, out)
-			case privilege.Reduce:
+			case req.Priv.IsReduce():
 				op := req.Priv.Op
 				out := data.NewStore(req.Region.Space.Dim())
 				req.Region.Space.Each(func(p geometry.Point) bool {
@@ -189,11 +189,11 @@ func (x *Executor) materialize(req core.Req, plan []core.Visible) *data.Store {
 	key := instanceKey{field: req.Field, space: req.Region.Space.Key(), plan: planSignature(plan)}
 	x.mu.Lock()
 	if st, ok := x.instances[key]; ok {
-		x.CacheHits++
+		x.cacheHits++
 		x.mu.Unlock()
 		return st
 	}
-	x.CacheMiss++
+	x.cacheMiss++
 	x.mu.Unlock()
 
 	in := x.materializeFresh(req, plan)
@@ -216,15 +216,15 @@ func (x *Executor) materializeFresh(req core.Req, plan []core.Visible) *data.Sto
 	in := data.NewStore(req.Region.Space.Dim())
 	for _, v := range plan {
 		src := x.source(v, req.Field)
-		switch v.Priv.Kind {
-		case privilege.ReadWrite:
+		switch {
+		case v.Priv.IsWrite():
 			v.Pts.Each(func(p geometry.Point) bool {
 				if val, ok := src.Get(p); ok {
 					in.Set(p, val)
 				}
 				return true
 			})
-		case privilege.Reduce:
+		case v.Priv.IsReduce():
 			op := v.Priv.Op
 			v.Pts.Each(func(p geometry.Point) bool {
 				contrib, ok := src.Get(p)
@@ -241,6 +241,13 @@ func (x *Executor) materializeFresh(req core.Req, plan []core.Visible) *data.Sto
 		}
 	}
 	return in
+}
+
+// CacheStats returns the physical-instance cache's hit and miss counters.
+func (x *Executor) CacheStats() (hits, misses int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.cacheHits, x.cacheMiss
 }
 
 // Drain waits for every submitted task to complete.

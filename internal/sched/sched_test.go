@@ -169,8 +169,8 @@ func TestInstanceCacheReuse(t *testing.T) {
 			})
 	}
 	x.Drain()
-	if x.CacheHits < 5 {
-		t.Errorf("cache hits = %d, want >= 5", x.CacheHits)
+	if hits, _ := x.CacheStats(); hits < 5 {
+		t.Errorf("cache hits = %d, want >= 5", hits)
 	}
 	for _, s := range stores[1:] {
 		if s != stores[0] {
@@ -181,12 +181,12 @@ func TestInstanceCacheReuse(t *testing.T) {
 	// A new write invalidates naturally: the next read's plan differs.
 	x.Submit(stream.Launch("w2", core.Req{Region: p.Subregions[0], Field: up, Priv: privilege.Writes()}),
 		core.HashKernel{}, nil)
-	miss := x.CacheMiss
+	_, miss := x.CacheStats()
 	var after *data.Store
 	x.Submit(stream.Launch("r2", core.Req{Region: p.Subregions[0], Field: up, Priv: privilege.Reads()}),
 		core.HashKernel{}, func(in []*data.Store) { after = in[0] })
 	x.Drain()
-	if x.CacheMiss == miss {
+	if _, misses := x.CacheStats(); misses == miss {
 		t.Error("read after a new write should miss the cache")
 	}
 	if after == stores[0] {

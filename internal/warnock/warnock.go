@@ -186,7 +186,7 @@ func (w *Warnock) lookup(fs *fieldState, regionID int, sp index.Space) []*bnode 
 func privRuns(hist []core.Entry) int64 {
 	var runs int64
 	for i, e := range hist {
-		if i == 0 || e.Priv != hist[i-1].Priv {
+		if i == 0 || !e.Priv.Same(hist[i-1].Priv) {
 			runs++
 		}
 	}
@@ -274,12 +274,12 @@ func (w *Warnock) Analyze(t *core.Task) *core.Result {
 					deps = append(deps, e.Task)
 					w.stats.DepsReported++
 				}
-				if req.Priv.Kind != privilege.Reduce && e.Priv.Mutates() {
+				if !req.Priv.IsReduce() && e.Priv.Mutates() {
 					plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: s.pts})
 				}
 			}
 		}
-		if req.Priv.Kind == privilege.Reduce {
+		if req.Priv.IsReduce() {
 			plan = nil
 		}
 		plans[ri] = plan

@@ -493,7 +493,7 @@ func snapshots(inputs []*data.Store) []*Snapshot {
 
 func validate(t *core.Task, want, got []*data.Store) {
 	for ri, req := range t.Reqs {
-		if req.Priv.Kind == privilege.Reduce {
+		if req.Priv.IsReduce() {
 			continue
 		}
 		if !want[ri].Equal(got[ri]) {
