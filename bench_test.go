@@ -29,7 +29,9 @@ import (
 	"visibility/internal/apps/stencil"
 	"visibility/internal/core"
 	"visibility/internal/harness"
+	"visibility/internal/obs"
 	"visibility/internal/paint"
+	"visibility/internal/raycast"
 	"visibility/internal/testutil"
 	"visibility/internal/warnock"
 )
@@ -111,6 +113,55 @@ func BenchmarkAnalyzePerLaunch(b *testing.B) {
 				}
 				n--
 				an.Analyze(launches[len(launches)-1-n].Task)
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead is the observability-layer overhead guard: it
+// measures steady-state raycast analysis throughput with span
+// instrumentation absent (nil Spans in core.Options — the zero value every
+// non-instrumented caller gets), with a span buffer installed but disabled
+// (the state a long-lived process sits in between trace captures), and with
+// recording enabled. The instrumented-but-off configurations must stay
+// within noise (<3%) of absent: the Begin fast path is one nil check or one
+// atomic load, so any measurable gap is a regression in the obs layer.
+func BenchmarkObsOverhead(b *testing.B) {
+	disabled := obs.NewBuffer(1 << 12)
+	disabled.SetEnabled(false)
+	enabled := obs.NewBuffer(1 << 12)
+	enabled.SetEnabled(true)
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"absent", core.Options{}},
+		{"disabled", core.Options{Spans: disabled}},
+		{"enabled", core.Options{Spans: enabled}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			inst := circuit.New(16)
+			an := raycast.New(inst.Tree, tc.opts)
+			stream := core.NewStream(inst.Tree)
+			for _, l := range inst.Emit(stream, 0) {
+				an.Analyze(l.Task)
+			}
+			iter := 1
+			launches := inst.Emit(stream, iter)
+			li := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if li == len(launches) {
+					b.StopTimer()
+					iter++
+					launches = inst.Emit(stream, iter)
+					li = 0
+					b.StartTimer()
+				}
+				an.Analyze(launches[li].Task)
+				li++
 			}
 		})
 	}

@@ -4,16 +4,21 @@
 // (Figures 12-14) and weak-scaling throughput per node (Figures 15-17),
 // or the raw TSV rows of the artifact's parse_results.py.
 //
+// With -metrics-out it additionally dumps every experiment cell's full
+// metrics-registry snapshot — analyzer operation counts, cluster message
+// tallies, per-launch cost histograms — as a deterministic JSON array.
+//
 // Usage:
 //
 //	visbench [-app stencil|circuit|pennant|all] [-metric init|weak|all]
 //	         [-max-nodes 512] [-iters 3] [-format figure|tsv] [-reps 1]
-//	         [-stats]
+//	         [-stats] [-metrics-out cells.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"visibility/internal/apps"
@@ -39,6 +44,7 @@ func main() {
 	reps := flag.Int("reps", 1, "repetition rows in tsv output")
 	stats := flag.Bool("stats", false, "print analyzer operation counts per cell")
 	tracing := flag.Bool("tracing", false, "enable dynamic tracing (the paper disables it; see §8)")
+	metricsOut := flag.String("metrics-out", "", "write per-cell metrics snapshots as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	builders := map[string]apps.Builder{
@@ -57,12 +63,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var allResults []*harness.Result
 	for _, name := range names {
 		results, err := harness.SweepTraced(builders[name], name, *maxNodes, *iters, *tracing)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
 			os.Exit(1)
 		}
+		allResults = append(allResults, results...)
 		switch *format {
 		case "tsv":
 			fmt.Printf("## %s\n", name)
@@ -98,6 +106,23 @@ func main() {
 					r.Stats.ViewsCreated, r.Stats.SetsCreated, r.Stats.SetsCoalesced, r.Stats.BVHVisited,
 					100*r.ExecUtilization, 100*r.UtilUtilization)
 			}
+		}
+	}
+
+	if *metricsOut != "" {
+		var w io.Writer = os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := harness.WriteMetricsJSON(w, allResults); err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

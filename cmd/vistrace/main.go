@@ -5,10 +5,16 @@
 // analyzer's operation counters. It is the debugging lens for answers like
 // "why did these two tasks serialize?".
 //
+// With -trace-out it additionally replays the stream over the simulated
+// distributed machine and writes a Chrome trace-event (Perfetto-loadable)
+// JSON timeline: one track per simulated node (exec and util processors),
+// every work item as a duration event, every coherence message as a flow
+// arrow, and the analyzer's wall-clock phase spans as a separate process.
+//
 // Usage:
 //
 //	vistrace [-app circuit] [-algo raycast] [-nodes 4] [-iters 2]
-//	         [-format text|dot] [-exact]
+//	         [-format text|dot] [-exact] [-trace-out trace.json]
 package main
 
 import (
@@ -21,10 +27,13 @@ import (
 	"visibility/internal/apps/circuit"
 	"visibility/internal/apps/pennant"
 	"visibility/internal/apps/stencil"
+	"visibility/internal/cluster"
 	"visibility/internal/core"
+	"visibility/internal/dist"
 	"visibility/internal/field"
 	"visibility/internal/graph"
 	"visibility/internal/index"
+	"visibility/internal/obs"
 )
 
 func main() {
@@ -36,19 +45,28 @@ func main() {
 	exact := flag.Bool("exact", false, "also run the exact O(n²) reference and report precision")
 	dumpSets := flag.Bool("dump-sets", false, "dump the live equivalence sets per field (warnock/raycast)")
 	dumpTree := flag.Bool("dump-tree", false, "print the application's region tree (Figure 2(c) style)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the simulated run to this file")
 	flag.Parse()
 
+	// Validate every enumerated flag up front: a typo must be a usage
+	// error, not a silent fall-through to the default behavior.
 	builders := map[string]apps.Builder{
 		"stencil": stencil.New, "circuit": circuit.New, "pennant": pennant.New,
 	}
 	build, ok := builders[*appFlag]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "vistrace: unknown app %q\n", *appFlag)
+		fmt.Fprintf(os.Stderr, "vistrace: unknown app %q (have stencil, circuit, pennant)\n", *appFlag)
 		os.Exit(2)
 	}
 	newAn, err := algo.Lookup(*algoFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vistrace: %v\n", err)
+		os.Exit(2)
+	}
+	switch *format {
+	case "text", "dot":
+	default:
+		fmt.Fprintf(os.Stderr, "vistrace: unknown format %q (have text, dot)\n", *format)
 		os.Exit(2)
 	}
 
@@ -113,23 +131,84 @@ func main() {
 	fmt.Printf("\nanalyzer counters: entriesScanned=%d overlapTests=%d views=%d setsCreated=%d coalesced=%d bvhVisited=%d\n",
 		st.EntriesScanned, st.OverlapTests, st.ViewsCreated, st.SetsCreated, st.SetsCoalesced, st.BVHVisited)
 
+	if *traceOut != "" {
+		if err := exportTrace(build, newAn, *nodes, *iters, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "vistrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace-event JSON to %s (load it in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+
 	if *dumpSets {
-		type setDumper interface {
-			SetSpaces(f field.ID) []index.Space
-			EquivalenceSets(f field.ID) int
+		dumpEquivalenceSets(an, inst, *algoFlag)
+	}
+}
+
+// exportTrace replays the application's stream through a dist-driven run on
+// the simulated machine (DCR on, owner-computes placement, like the paper's
+// default configuration) and writes the resulting timeline as Chrome
+// trace-event JSON: virtual-time exec/util tracks per node with message flow
+// arrows, plus the analyzer's wall-clock phase spans as an extra process.
+func exportTrace(build apps.Builder, newAn algo.New, nodes, iters int, path string) error {
+	inst := build(nodes)
+	ccfg := cluster.DefaultConfig(nodes)
+	machine := cluster.New(ccfg)
+	machine.EnableTracing()
+
+	spans := obs.NewBuffer(1 << 16)
+	spans.SetEnabled(true)
+	dcfg := dist.DefaultConfig(true)
+	dcfg.Spans = spans
+	driver := dist.New(machine, inst.Tree, dist.NewAnalyzerFunc(newAn),
+		dist.OwnerByPartition(inst.Owned, nodes), dcfg)
+
+	stream := core.NewStream(inst.Tree)
+	if inst.EmitInit != nil {
+		for _, l := range inst.EmitInit(stream) {
+			driver.Launch(l.Task, l.Node, l.Duration)
 		}
-		d, ok := an.(setDumper)
-		if !ok {
-			fmt.Printf("\n(%s does not maintain equivalence sets)\n", *algoFlag)
-			return
+	}
+	for it := 0; it < iters; it++ {
+		for _, l := range inst.Emit(stream, it) {
+			driver.Launch(l.Task, l.Node, l.Duration)
 		}
-		fmt.Println("\nlive equivalence sets:")
-		for f := 0; f < inst.Tree.Fields.Len(); f++ {
-			id := field.ID(f)
-			fmt.Printf("  field %-10s %d sets\n", inst.Tree.Fields.Name(id), d.EquivalenceSets(id))
-			for _, sp := range d.SetSpaces(id) {
-				fmt.Printf("    %v (|%d|)\n", sp, sp.Volume())
-			}
+	}
+	driver.Barrier()
+
+	tw := obs.NewTraceWriter()
+	machine.ExportTrace(tw)
+	wallPid := machine.Nodes()
+	tw.ProcessName(wallPid, "analyzer (wall clock)")
+	tw.ThreadName(wallPid, 0, "analysis phases")
+	tw.Spans(wallPid, 0, spans.Snapshot())
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tw.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func dumpEquivalenceSets(an core.Analyzer, inst *apps.Instance, algoName string) {
+	type setDumper interface {
+		SetSpaces(f field.ID) []index.Space
+		EquivalenceSets(f field.ID) int
+	}
+	d, ok := an.(setDumper)
+	if !ok {
+		fmt.Printf("\n(%s does not maintain equivalence sets)\n", algoName)
+		return
+	}
+	fmt.Println("\nlive equivalence sets:")
+	for f := 0; f < inst.Tree.Fields.Len(); f++ {
+		id := field.ID(f)
+		fmt.Printf("  field %-10s %d sets\n", inst.Tree.Fields.Name(id), d.EquivalenceSets(id))
+		for _, sp := range d.SetSpaces(id) {
+			fmt.Printf("    %v (|%d|)\n", sp, sp.Volume())
 		}
 	}
 }

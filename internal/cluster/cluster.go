@@ -12,7 +12,12 @@
 // the real algorithms produce them.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"visibility/internal/obs"
+)
 
 // Time is virtual seconds.
 type Time = float64
@@ -35,6 +40,9 @@ type Config struct {
 	SendOverhead Time
 	// ReceiveOverhead is CPU time a node spends to absorb one message.
 	ReceiveOverhead Time
+	// Metrics is the registry the machine publishes message counters
+	// into; nil gets a private registry.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a machine resembling a GPU-node supercomputer
@@ -123,8 +131,39 @@ type Machine struct {
 	util []proc
 	done []Time // completion time per op
 
-	messages int64
-	bytes    int64
+	// Message tallies live on the obs registry; Messages() reads them
+	// back, so existing callers see the same numbers.
+	metrics  *obs.Registry
+	messages *obs.Counter
+	bytes    *obs.Counter
+	msgSize  *obs.Histogram
+
+	// rec, when non-nil, journals every scheduled slice and message for
+	// trace export (EnableTracing).
+	rec *traceRec
+}
+
+// traceRec is the virtual-time journal behind ExportTrace.
+type traceRec struct {
+	ops   []opRecord
+	refOp map[Ref]int // scheduling Ref -> index into ops
+	msgs  []msgRecord
+}
+
+// opRecord is one scheduled slice of processor time.
+type opRecord struct {
+	node  int
+	util  bool // utility processor (vs execution)
+	name  string
+	start Time
+	dur   Time
+}
+
+// msgRecord is one cross-node (or self) message: the refs of its send and
+// receive slices.
+type msgRecord struct {
+	bytes      int64
+	send, recv Ref
 }
 
 // New creates a machine.
@@ -132,10 +171,30 @@ func New(cfg Config) *Machine {
 	if cfg.Nodes < 1 {
 		panic("cluster: need at least one node")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Machine{
-		cfg:  cfg,
-		exec: make([]proc, cfg.Nodes),
-		util: make([]proc, cfg.Nodes),
+		cfg:      cfg,
+		exec:     make([]proc, cfg.Nodes),
+		util:     make([]proc, cfg.Nodes),
+		metrics:  reg,
+		messages: reg.NewCounter("cluster/messages"),
+		bytes:    reg.NewCounter("cluster/message_bytes"),
+		msgSize:  reg.NewHistogram("cluster/message_size", 64, 256, 1024, 4096, 16384, 65536, 1<<20),
+	}
+}
+
+// Metrics returns the machine's metrics registry.
+func (m *Machine) Metrics() *obs.Registry { return m.metrics }
+
+// EnableTracing starts journaling every scheduled slice and message for
+// ExportTrace. Enable it before scheduling anything; work submitted
+// earlier is absent from the export.
+func (m *Machine) EnableTracing() {
+	if m.rec == nil {
+		m.rec = &traceRec{refOp: make(map[Ref]int)}
 	}
 }
 
@@ -164,24 +223,43 @@ func (m *Machine) checkNode(node int) {
 	}
 }
 
-func (m *Machine) schedule(p *proc, dur Time, deps []Ref) Ref {
+func (m *Machine) schedule(node int, util bool, name string, dur Time, deps []Ref) Ref {
+	p := &m.exec[node]
+	if util {
+		p = &m.util[node]
+	}
 	start := p.place(m.depsReady(deps), dur)
 	m.done = append(m.done, start+dur)
-	return Ref(len(m.done) - 1)
+	ref := Ref(len(m.done) - 1)
+	if m.rec != nil {
+		m.rec.refOp[ref] = len(m.rec.ops)
+		m.rec.ops = append(m.rec.ops, opRecord{node: node, util: util, name: name, start: start, dur: dur})
+	}
+	return ref
 }
 
 // Exec schedules dur seconds of kernel work on node's execution processor,
 // starting at the earliest free slot after all deps are complete.
 func (m *Machine) Exec(node int, dur Time, deps ...Ref) Ref {
+	return m.ExecNamed(node, "exec", dur, deps...)
+}
+
+// ExecNamed is Exec with a label for the exported trace.
+func (m *Machine) ExecNamed(node int, name string, dur Time, deps ...Ref) Ref {
 	m.checkNode(node)
-	return m.schedule(&m.exec[node], dur, deps)
+	return m.schedule(node, false, name, dur, deps)
 }
 
 // Util schedules dur seconds of runtime (analysis) work on node's utility
 // processor.
 func (m *Machine) Util(node int, dur Time, deps ...Ref) Ref {
+	return m.UtilNamed(node, "util", dur, deps...)
+}
+
+// UtilNamed is Util with a label for the exported trace.
+func (m *Machine) UtilNamed(node int, name string, dur Time, deps ...Ref) Ref {
 	m.checkNode(node)
-	return m.schedule(&m.util[node], dur, deps)
+	return m.schedule(node, true, name, dur, deps)
 }
 
 // Message schedules a message of size bytes from one node to another,
@@ -191,16 +269,21 @@ func (m *Machine) Util(node int, dur Time, deps ...Ref) Ref {
 func (m *Machine) Message(from, to int, bytes int64, deps ...Ref) Ref {
 	m.checkNode(from)
 	m.checkNode(to)
-	sent := m.Util(from, m.cfg.SendOverhead, deps...)
-	m.messages++
-	m.bytes += bytes
+	sent := m.UtilNamed(from, "send", m.cfg.SendOverhead, deps...)
+	m.messages.Inc()
+	m.bytes.Add(bytes)
+	m.msgSize.Observe(bytes)
 	wire := Time(0)
 	if from != to {
 		wire = m.cfg.MessageLatency + float64(bytes)/m.cfg.Bandwidth
 	}
 	// Receive processing occupies the destination's utility processor
 	// after the wire delivers.
-	return m.schedule(&m.util[to], m.cfg.ReceiveOverhead, []Ref{m.afterTime(m.done[sent] + wire)})
+	recv := m.schedule(to, true, "recv", m.cfg.ReceiveOverhead, []Ref{m.afterTime(m.done[sent] + wire)})
+	if m.rec != nil {
+		m.rec.msgs = append(m.rec.msgs, msgRecord{bytes: bytes, send: sent, recv: recv})
+	}
+	return recv
 }
 
 // afterTime returns a pseudo-op completing at t.
@@ -246,8 +329,53 @@ func (m *Machine) UtilBusy(node int) Time {
 	return m.util[node].busy
 }
 
-// Messages returns the number of messages and total bytes sent.
-func (m *Machine) Messages() (int64, int64) { return m.messages, m.bytes }
+// Messages returns the number of messages and total bytes sent (thin
+// reads over the registry counters).
+func (m *Machine) Messages() (int64, int64) { return m.messages.Load(), m.bytes.Load() }
 
 // Ops returns the number of scheduled operations.
 func (m *Machine) Ops() int { return len(m.done) }
+
+// virtualNs converts virtual seconds to integer nanoseconds, the
+// timestamp unit of the trace exporter. Rounding through math.Round makes
+// the mapping deterministic for identical schedules.
+func virtualNs(t Time) int64 { return int64(math.Round(t * 1e9)) }
+
+// Exported thread ids within each node's process: execution processor
+// (the GPU) and utility processor (analysis + message handling).
+const (
+	ExecTID = 0
+	UtilTID = 1
+)
+
+// ExportTrace emits the journaled virtual-time schedule as Chrome
+// trace events: one process per simulated node with an exec and a util
+// track, every scheduled slice as a duration event, and every message as
+// a flow arrow from its send slice to its receive slice. EnableTracing
+// must have been called before the work was scheduled; otherwise the
+// export is empty.
+func (m *Machine) ExportTrace(tw *obs.TraceWriter) {
+	for n := 0; n < m.cfg.Nodes; n++ {
+		tw.ProcessName(n, fmt.Sprintf("node %d", n))
+		tw.ThreadName(n, ExecTID, "exec (gpu)")
+		tw.ThreadName(n, UtilTID, "util (analysis)")
+	}
+	if m.rec == nil {
+		return
+	}
+	for _, op := range m.rec.ops {
+		tid, cat := ExecTID, "task"
+		if op.util {
+			tid, cat = UtilTID, "runtime"
+		}
+		tw.Duration(op.node, tid, op.name, cat, virtualNs(op.start), virtualNs(op.dur), nil)
+	}
+	for i, msg := range m.rec.msgs {
+		id := int64(i + 1)
+		send := m.rec.ops[m.rec.refOp[msg.send]]
+		recv := m.rec.ops[m.rec.refOp[msg.recv]]
+		name := fmt.Sprintf("msg %dB", msg.bytes)
+		tw.FlowStart(id, send.node, UtilTID, name, "message", virtualNs(send.start))
+		tw.FlowEnd(id, recv.node, UtilTID, name, "message", virtualNs(recv.start))
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"visibility/internal/field"
 	"visibility/internal/index"
+	"visibility/internal/obs"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 )
@@ -132,6 +133,33 @@ type Stats struct {
 	BVHVisited    int64 // acceleration-structure nodes traversed
 }
 
+// RegisterMetrics exposes every counter of s on reg as computed metrics
+// under prefix (e.g. "analyzer/launches"), read live at snapshot time.
+// The fields stay plain int64s incremented by the single-threaded
+// analyzers, so the hot paths are untouched; snapshot the registry only
+// when the analyzer is quiescent (after a drain or barrier).
+func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
+	for _, m := range []struct {
+		name string
+		v    *int64
+	}{
+		{"launches", &s.Launches},
+		{"overlap_tests", &s.OverlapTests},
+		{"entries_scanned", &s.EntriesScanned},
+		{"deps_reported", &s.DepsReported},
+		{"views_created", &s.ViewsCreated},
+		{"view_entries", &s.ViewEntries},
+		{"items_pruned", &s.ItemsPruned},
+		{"sets_created", &s.SetsCreated},
+		{"sets_visited", &s.SetsVisited},
+		{"sets_coalesced", &s.SetsCoalesced},
+		{"bvh_visited", &s.BVHVisited},
+	} {
+		v := m.v
+		reg.RegisterFunc(prefix+"/"+m.name, func() int64 { return *v })
+	}
+}
+
 // Add accumulates o into s.
 func (s *Stats) Add(o *Stats) {
 	s.Launches += o.Launches
@@ -184,19 +212,32 @@ func (NopProbe) Fetch(int, int64, int64) {}
 type OwnerFunc func(index.Space) int
 
 // Options configures an analyzer's instrumentation. The zero value is
-// valid: no probe, everything owned by node 0.
+// valid: no probe, everything owned by node 0, a private metrics
+// registry, and no span recording.
 type Options struct {
 	Probe Probe
 	Owner OwnerFunc
+	// Metrics is the registry components publish counters into. Nil gets
+	// a private registry, so instruments always exist; pass a shared
+	// registry to collect one snapshot across the whole stack.
+	Metrics *obs.Registry
+	// Spans receives begin/end records for the phases of each per-launch
+	// analysis. Nil (the default) disables span recording; every
+	// instrumentation site is nil-safe.
+	Spans *obs.Buffer
 }
 
-// Normalize fills in defaults for nil fields.
+// Normalize fills in defaults for nil fields (Spans stays nil: a nil
+// buffer is the disabled fast path).
 func (o Options) Normalize() Options {
 	if o.Probe == nil {
 		o.Probe = NopProbe{}
 	}
 	if o.Owner == nil {
 		o.Owner = func(index.Space) int { return 0 }
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
 	}
 	return o
 }

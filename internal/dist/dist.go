@@ -13,11 +13,14 @@
 package dist
 
 import (
+	"fmt"
+
 	"visibility/internal/bvh"
 	"visibility/internal/cluster"
 	"visibility/internal/core"
 	"visibility/internal/geometry"
 	"visibility/internal/index"
+	"visibility/internal/obs"
 	"visibility/internal/region"
 )
 
@@ -45,6 +48,12 @@ type Config struct {
 	// volume to bytes moved. Apps using scaled-down index spaces set this
 	// to (model bytes per region) / (index-space volume).
 	BytesPerPoint float64
+	// Metrics is the registry the driver and its analyzer publish into;
+	// nil gets a private registry (reachable via Driver.Metrics).
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives wall-clock begin/end records for the
+	// phases of each per-launch analysis.
+	Spans *obs.Buffer
 }
 
 // DefaultConfig returns cost-model constants calibrated so that a
@@ -71,6 +80,10 @@ type Driver struct {
 	taskNode map[int]int
 	owner    core.OwnerFunc
 	all      []cluster.Ref
+
+	metrics  *obs.Registry
+	localOps *obs.Histogram // per-launch analysis ops on the analyzing node
+	remotes  *obs.Counter   // remote-owner round trips issued
 
 	// lastAnalysis orders each shard's analysis in program order: a
 	// dynamic dependence analysis observes launches sequentially (§3.2).
@@ -134,7 +147,9 @@ type fetchKey struct {
 type NewAnalyzerFunc func(tree *region.Tree, opts core.Options) core.Analyzer
 
 // New creates a Driver: it builds the analyzer with a probe attached and
-// with state ownership assigned by owner.
+// with state ownership assigned by owner. The analyzer's operation
+// counters are published on the driver's metrics registry (cfg.Metrics,
+// or a private one) under "analyzer/".
 func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, owner core.OwnerFunc, cfg Config) *Driver {
 	d := &Driver{
 		m:            m,
@@ -145,12 +160,22 @@ func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, own
 		owner:        owner,
 		lastAnalysis: make(map[int]cluster.Ref),
 	}
-	d.an = newAnalyzer(tree, core.Options{Probe: d.probe, Owner: owner})
+	opts := core.Options{Probe: d.probe, Owner: owner, Metrics: cfg.Metrics, Spans: cfg.Spans}.Normalize()
+	d.metrics = opts.Metrics
+	d.localOps = d.metrics.NewHistogram("dist/launch_local_ops", 4, 16, 64, 256, 1024, 4096)
+	d.remotes = d.metrics.NewCounter("dist/remote_roundtrips")
+	d.an = newAnalyzer(tree, opts)
+	d.an.Stats().RegisterMetrics(d.metrics, "analyzer")
 	return d
 }
 
 // Analyzer returns the driven analyzer (for stats inspection).
 func (d *Driver) Analyzer() core.Analyzer { return d.an }
+
+// Metrics returns the driver's metrics registry: the analyzer's counters,
+// the machine's message tallies when it shares the registry, and the
+// driver's own launch-cost instruments.
+func (d *Driver) Metrics() *obs.Registry { return d.metrics }
 
 // Launch analyzes t and schedules its execution on execNode for dur
 // seconds of virtual time. It returns the completion reference.
@@ -176,14 +201,17 @@ func (d *Driver) Launch(t *core.Task, execNode int, dur cluster.Time) cluster.Re
 	// issued in parallel after the local work, as Legion's analysis
 	// broadcasts requests and gathers responses.
 	var local cluster.Time = d.cfg.LaunchOverhead
+	var localUnits int64
 	remoteOps := make(map[int]int64)
 	var remoteOrder []int
 	for _, tc := range d.probe.touches {
 		switch {
 		case tc.owner == visitOwner:
 			local += cluster.Time(tc.ops) * d.cfg.VisitCost
+			localUnits += tc.ops
 		case tc.owner == core.LocalOwner || tc.owner == analysisNode:
 			local += cluster.Time(tc.ops) * d.cfg.OpCost
+			localUnits += tc.ops
 		default:
 			if _, seen := remoteOps[tc.owner]; !seen {
 				remoteOrder = append(remoteOrder, tc.owner)
@@ -191,12 +219,14 @@ func (d *Driver) Launch(t *core.Task, execNode int, dur cluster.Time) cluster.Re
 			remoteOps[tc.owner] += tc.ops
 		}
 	}
-	chain := d.m.Util(analysisNode, local, prev)
+	d.localOps.Observe(localUnits)
+	d.remotes.Add(int64(len(remoteOrder)))
+	chain := d.m.UtilNamed(analysisNode, "analyze "+t.String(), local, prev)
 	if len(remoteOrder) > 0 {
 		gather := make([]cluster.Ref, 0, len(remoteOrder))
 		for _, owner := range remoteOrder {
 			req := d.m.Message(analysisNode, owner, d.cfg.ControlBytes, chain)
-			remote := d.m.Util(owner, cluster.Time(remoteOps[owner])*d.cfg.OpCost, req)
+			remote := d.m.UtilNamed(owner, fmt.Sprintf("touch %s", t), cluster.Time(remoteOps[owner])*d.cfg.OpCost, req)
 			gather = append(gather, d.m.Message(owner, analysisNode, d.cfg.ControlBytes, remote))
 		}
 		chain = d.m.AfterAll(gather...)
@@ -235,7 +265,7 @@ func (d *Driver) Launch(t *core.Task, execNode int, dur cluster.Time) cluster.Re
 		}
 	}
 
-	done := d.m.Exec(execNode, dur, pres...)
+	done := d.m.ExecNamed(execNode, t.String(), dur, pres...)
 	d.taskDone[t.ID] = done
 	d.taskNode[t.ID] = execNode
 	d.all = append(d.all, done)

@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"visibility/internal/cluster"
 	"visibility/internal/core"
 	"visibility/internal/dist"
+	"visibility/internal/obs"
 	"visibility/internal/region"
 	"visibility/internal/trace"
 )
@@ -45,6 +47,13 @@ type Config struct {
 	// paper's mapping). Locality-oblivious mappers quantify how much the
 	// implicit-communication machinery has to move.
 	Mapper dist.Mapper
+	// TraceOut, when non-nil, receives the cell's virtual-time schedule
+	// as Chrome trace-event JSON after the run. The export contains only
+	// virtual-time events, so identical configurations produce
+	// byte-identical traces.
+	TraceOut io.Writer
+	// Spans, when non-nil, receives wall-clock analysis-phase spans.
+	Spans *obs.Buffer
 }
 
 // Result is one measured experiment cell.
@@ -64,6 +73,10 @@ type Result struct {
 	// the execution (GPU) and utility (analysis) processors over the run.
 	ExecUtilization float64
 	UtilUtilization float64
+	// Metrics is the cell's full registry snapshot: analyzer operation
+	// counts, cluster message tallies, per-launch cost histograms, and
+	// (when tracing) trace outcomes, all under hierarchical names.
+	Metrics obs.Snapshot
 }
 
 // SystemName returns the artifact-style configuration name.
@@ -98,7 +111,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	inst := cfg.App(cfg.Nodes)
-	machine := cluster.New(cluster.DefaultConfig(cfg.Nodes))
+	// One registry per cell: the machine, the driver, the analyzer, and
+	// the tracer all publish into it, and the result carries one snapshot.
+	reg := obs.NewRegistry()
+	clusterCfg := cluster.DefaultConfig(cfg.Nodes)
+	clusterCfg.Metrics = reg
+	machine := cluster.New(clusterCfg)
+	if cfg.TraceOut != nil {
+		machine.EnableTracing()
+	}
 	owner := dist.OwnerByPartition(inst.Owned, cfg.Nodes)
 
 	var tracer *trace.Tracer
@@ -109,7 +130,10 @@ func Run(cfg Config) (*Result, error) {
 			return tracer
 		}
 	}
-	driver := dist.New(machine, inst.Tree, buildAnalyzer, owner, dist.DefaultConfig(cfg.DCR))
+	distCfg := dist.DefaultConfig(cfg.DCR)
+	distCfg.Metrics = reg
+	distCfg.Spans = cfg.Spans
+	driver := dist.New(machine, inst.Tree, buildAnalyzer, owner, distCfg)
 	stream := core.NewStream(inst.Tree)
 
 	mapper := cfg.Mapper
@@ -162,6 +186,13 @@ func Run(cfg Config) (*Result, error) {
 		execBusy += machine.NodeBusy(n)
 		utilBusy += machine.UtilBusy(n)
 	}
+	if cfg.TraceOut != nil {
+		tw := obs.NewTraceWriter()
+		machine.ExportTrace(tw)
+		if err := tw.Write(cfg.TraceOut); err != nil {
+			return nil, fmt.Errorf("harness: writing trace: %w", err)
+		}
+	}
 	span := total * float64(cfg.Nodes)
 	return &Result{
 		System:            TracedSystemName(cfg.Algorithm, cfg.DCR, cfg.Tracing),
@@ -177,7 +208,31 @@ func Run(cfg Config) (*Result, error) {
 		MessageBytes:      bytes,
 		ExecUtilization:   execBusy / span,
 		UtilUtilization:   utilBusy / span,
+		Metrics:           reg.Snapshot(),
 	}, nil
+}
+
+// WriteMetricsJSON writes one registry snapshot per experiment cell as an
+// indented JSON array, in result order. Cells and keys are emitted
+// deterministically, so identical runs are byte-identical.
+func WriteMetricsJSON(w io.Writer, results []*Result) error {
+	type cell struct {
+		System  string       `json:"system"`
+		App     string       `json:"app"`
+		Nodes   int          `json:"nodes"`
+		Metrics obs.Snapshot `json:"metrics"`
+	}
+	cells := make([]cell, 0, len(results))
+	for _, r := range results {
+		cells = append(cells, cell{System: r.System, App: r.App, Nodes: r.Nodes, Metrics: r.Metrics})
+	}
+	b, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 // PaperConfigs returns the five configurations of every figure in §8:

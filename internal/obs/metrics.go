@@ -1,0 +1,226 @@
+// Package obs is the observability layer: a metrics registry of typed
+// atomic instruments, a ring-buffered span recorder for the phases of each
+// per-launch analysis, and a Chrome trace-event (Perfetto-loadable) JSON
+// exporter for both wall-clock spans and the cluster's virtual-time
+// schedule.
+//
+// The package is stdlib-only and sits below every other package in the
+// module: core, the analyzers, the tracer, the scheduler, the cluster
+// simulator, and the experiment harness all publish into it. Instruments
+// are cheap enough to leave on unconditionally — a Counter increment is one
+// atomic add — and span recording is nil-safe, so components hold a
+// possibly-nil *Buffer and pay a single branch when observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over int64 observations. Bounds
+// are inclusive upper edges in ascending order; an implicit overflow
+// bucket captures observations above the last bound. Buckets, count, and
+// sum are all atomic, so concurrent Observe calls need no lock.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Registry holds instruments by hierarchical slash-separated name
+// (e.g. "cluster/messages"). Registration is idempotent: asking for an
+// existing name of the same kind returns the existing instrument, so
+// components sharing a registry coordinate by name alone. Registering one
+// name as two different kinds panics — that is a wiring bug, not a
+// runtime condition.
+type Registry struct {
+	mu          sync.Mutex
+	instruments map[string]any          // guarded by mu
+	funcs       map[string]func() int64 // guarded by mu
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		instruments: make(map[string]any),
+		funcs:       make(map[string]func() int64),
+	}
+}
+
+// register returns the existing instrument under name after checking its
+// kind, or installs the one built by mk.
+func (r *Registry) register(name string, kind string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if inst, ok := r.instruments[name]; ok {
+		switch inst.(type) {
+		case *Counter:
+			if kind != "counter" {
+				panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+			}
+		case *Gauge:
+			if kind != "gauge" {
+				panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+			}
+		case *Histogram:
+			if kind != "histogram" {
+				panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+			}
+		}
+		return inst
+	}
+	if _, ok := r.funcs[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a computed metric", name))
+	}
+	inst := mk()
+	r.instruments[name] = inst
+	return inst
+}
+
+// NewCounter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) NewCounter(name string) *Counter {
+	return r.register(name, "counter", func() any { return &Counter{} }).(*Counter)
+}
+
+// NewGauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) NewGauge(name string) *Gauge {
+	return r.register(name, "gauge", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// NewHistogram returns the histogram registered under name, creating it
+// with the given ascending inclusive bucket bounds on first use (later
+// bounds are ignored for an existing histogram).
+func (r *Registry) NewHistogram(name string, bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	return r.register(name, "histogram", func() any {
+		return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// RegisterFunc installs a computed metric: fn is evaluated at snapshot
+// time. Use it to expose counters that already live elsewhere (e.g. a
+// core.Stats field) without changing how they are incremented; the caller
+// must guarantee fn is safe to call when Snapshot runs. Registering a
+// duplicate name panics.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.instruments[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as an instrument", name))
+	}
+	if _, ok := r.funcs[name]; ok {
+		panic(fmt.Sprintf("obs: computed metric %q already registered", name))
+	}
+	r.funcs[name] = fn
+}
+
+// Snapshot is a point-in-time view of every metric in a registry.
+// Histograms expand into one entry per bucket ("name/le_<bound>" and
+// "name/le_inf") plus "name/count" and "name/sum".
+type Snapshot map[string]int64
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Snapshot, len(r.instruments)+len(r.funcs))
+	for name, inst := range r.instruments {
+		switch m := inst.(type) {
+		case *Counter:
+			out[name] = m.Load()
+		case *Gauge:
+			out[name] = m.Load()
+		case *Histogram:
+			for i, b := range m.bounds {
+				out[name+"/le_"+strconv.FormatInt(b, 10)] = m.buckets[i].Load()
+			}
+			out[name+"/le_inf"] = m.buckets[len(m.bounds)].Load()
+			out[name+"/count"] = m.Count()
+			out[name+"/sum"] = m.Sum()
+		}
+	}
+	for name, fn := range r.funcs {
+		out[name] = fn()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as an indented JSON object with keys in
+// sorted order (encoding/json sorts map keys), so identical states produce
+// byte-identical output.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteTSV writes the snapshot as "name<TAB>value" lines in sorted name
+// order.
+func (s Snapshot) WriteTSV(w io.Writer) error {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s\t%d\n", name, s[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

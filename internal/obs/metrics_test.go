@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("a/count")
+	c.Add(3)
+	c.Inc()
+	if got := c.Load(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	g := r.NewGauge("a/gauge")
+	g.Set(7)
+	g.Set(-2)
+	if got := g.Load(); got != -2 {
+		t.Errorf("gauge = %d, want -2", got)
+	}
+	h := r.NewHistogram("a/hist", 10, 100)
+	for _, v := range []int64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1122 {
+		t.Errorf("histogram count=%d sum=%d, want 5/1122", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	want := Snapshot{
+		"a/count": 4, "a/gauge": -2,
+		"a/hist/le_10": 2, "a/hist/le_100": 2, "a/hist/le_inf": 1,
+		"a/hist/count": 5, "a/hist/sum": 1122,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %d, want %d", k, snap[k], v)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+func TestRegistrationIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	if r.NewCounter("x") != r.NewCounter("x") {
+		t.Error("NewCounter not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.NewGauge("x")
+}
+
+func TestRegisterFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(41)
+	r.RegisterFunc("live", func() int64 { return v })
+	v++
+	if got := r.Snapshot()["live"]; got != 42 {
+		t.Errorf("computed metric = %d, want 42", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterFunc did not panic")
+		}
+	}()
+	r.RegisterFunc("live", func() int64 { return 0 })
+}
+
+func TestSnapshotWriters(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b").Add(2)
+	r.NewCounter("a").Add(1)
+	snap := r.Snapshot()
+
+	var tsv bytes.Buffer
+	if err := snap.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tsv.String(), "a\t1\nb\t2\n"; got != want {
+		t.Errorf("TSV = %q, want %q", got, want)
+	}
+
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]int64
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back["a"] != 1 || back["b"] != 2 {
+		t.Errorf("JSON round trip = %v", back)
+	}
+	if idx := strings.Index(js.String(), `"a"`); idx < 0 || idx > strings.Index(js.String(), `"b"`) {
+		t.Errorf("JSON keys not sorted: %s", js.String())
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// registration races, increments, observations, and snapshots — and is
+// meaningful under -race (CI runs the suite with the race detector).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.NewCounter("shared/counter")
+			h := r.NewHistogram("shared/hist", 8, 64, 512)
+			gauge := r.NewGauge("shared/gauge")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				gauge.Set(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap["shared/counter"]; got != goroutines*perG {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := snap["shared/hist/count"]; got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed begin/end interval: a phase of a per-launch
+// analysis (region-tree traversal, refinement, BVH query, coalescing) or a
+// tracer event (record/replay/invalidate). Times are nanoseconds on the
+// buffer's clock — monotonic wall clock by default.
+type Span struct {
+	Name  string
+	Cat   string
+	Start int64
+	End   int64
+}
+
+// Buffer records spans into a fixed-capacity ring, dropping the oldest
+// span when full, so instrumentation of hot per-launch phases is bounded
+// in memory no matter how long the run. A nil *Buffer is valid and
+// records nothing; a non-nil buffer can also be disabled, which keeps the
+// storage but turns Begin into a single atomic load. Safe for concurrent
+// use.
+type Buffer struct {
+	enabled atomic.Bool
+	now     func() int64 // immutable after construction
+
+	mu      sync.Mutex
+	ring    []Span // guarded by mu
+	head    int    // guarded by mu; index of the oldest span when full
+	dropped int64  // guarded by mu
+}
+
+// NewBuffer creates an enabled buffer holding at most capacity spans,
+// timestamped with the monotonic wall clock.
+func NewBuffer(capacity int) *Buffer {
+	base := time.Now()
+	return NewBufferClock(capacity, func() int64 { return time.Since(base).Nanoseconds() })
+}
+
+// NewBufferClock is NewBuffer with a caller-supplied clock; tests use a
+// deterministic clock to pin exported output.
+func NewBufferClock(capacity int, now func() int64) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &Buffer{now: now, ring: make([]Span, 0, capacity)}
+	b.enabled.Store(true)
+	return b
+}
+
+// SetEnabled turns recording on or off. Spans begun while enabled but
+// ended after disabling are still recorded.
+func (b *Buffer) SetEnabled(on bool) { b.enabled.Store(on) }
+
+// Active is an in-flight span returned by Begin; call End exactly once.
+// The zero Active (from a nil or disabled buffer) is inert.
+type Active struct {
+	buf   *Buffer
+	name  string
+	cat   string
+	start int64
+}
+
+// Begin starts a span. On a nil or disabled buffer it returns an inert
+// Active whose End is a no-op, so call sites need no guards.
+func (b *Buffer) Begin(name, cat string) Active {
+	if b == nil || !b.enabled.Load() {
+		return Active{}
+	}
+	return Active{buf: b, name: name, cat: cat, start: b.now()}
+}
+
+// End completes the span and records it.
+func (a Active) End() {
+	if a.buf == nil {
+		return
+	}
+	a.buf.push(Span{Name: a.name, Cat: a.cat, Start: a.start, End: a.buf.now()})
+}
+
+// push appends s, overwriting the oldest span when the ring is full.
+func (b *Buffer) push(s Span) {
+	b.mu.Lock()
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, s)
+	} else {
+		b.ring[b.head] = s
+		b.head = (b.head + 1) % len(b.ring)
+		b.dropped++
+	}
+	b.mu.Unlock()
+}
+
+// Snapshot returns the recorded spans, oldest first. A nil buffer yields
+// nil.
+func (b *Buffer) Snapshot() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Span, 0, len(b.ring))
+	out = append(out, b.ring[b.head:]...)
+	out = append(out, b.ring[:b.head]...)
+	return out
+}
+
+// Dropped returns how many spans were overwritten by newer ones.
+func (b *Buffer) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Len returns the number of spans currently held.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ring)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// fakeClock returns a deterministic strictly increasing clock.
+func fakeClock() func() int64 {
+	var t int64
+	var mu sync.Mutex
+	return func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		t += 100
+		return t
+	}
+}
+
+func TestBufferRecordsAndDropsOldest(t *testing.T) {
+	b := NewBufferClock(3, fakeClock())
+	for i, name := range []string{"a", "b", "c", "d", "e"} {
+		sp := b.Begin(name, "test")
+		sp.End()
+		if want := i + 1; b.Len() != min(want, 3) {
+			t.Errorf("after %d spans Len = %d", want, b.Len())
+		}
+	}
+	got := b.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot has %d spans, want 3", len(got))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if got[i].Name != want {
+			t.Errorf("snapshot[%d] = %q, want %q (oldest-first order)", i, got[i].Name, want)
+		}
+		if got[i].End <= got[i].Start {
+			t.Errorf("span %q has End %d <= Start %d", got[i].Name, got[i].End, got[i].Start)
+		}
+	}
+	if b.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", b.Dropped())
+	}
+}
+
+func TestNilAndDisabledBuffersAreInert(t *testing.T) {
+	var nilBuf *Buffer
+	sp := nilBuf.Begin("x", "test")
+	sp.End() // must not panic
+	if nilBuf.Snapshot() != nil || nilBuf.Len() != 0 || nilBuf.Dropped() != 0 {
+		t.Error("nil buffer not inert")
+	}
+
+	b := NewBufferClock(4, fakeClock())
+	b.SetEnabled(false)
+	b.Begin("skipped", "test").End()
+	if b.Len() != 0 {
+		t.Errorf("disabled buffer recorded %d spans", b.Len())
+	}
+	b.SetEnabled(true)
+	b.Begin("kept", "test").End()
+	if b.Len() != 1 {
+		t.Errorf("re-enabled buffer has %d spans, want 1", b.Len())
+	}
+}
+
+func TestBufferConcurrency(t *testing.T) {
+	b := NewBuffer(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := b.Begin("work", "test")
+				sp.End()
+				if i%50 == 0 {
+					_ = b.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Len() != 128 {
+		t.Errorf("Len = %d, want full ring of 128", b.Len())
+	}
+	if got := b.Dropped() + int64(b.Len()); got != 8*500 {
+		t.Errorf("recorded+dropped = %d, want 4000", got)
+	}
+}

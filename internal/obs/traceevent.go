@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceWriter accumulates Chrome trace-event JSON ("trace event format",
+// the JSON loaded by Perfetto and chrome://tracing). Producers append
+// complete duration events, flow events, and process/thread metadata; the
+// result is written as one {"traceEvents": [...]} object.
+//
+// Timestamps enter in nanoseconds and are emitted in microseconds (the
+// format's unit). Events are emitted in append order and all map keys are
+// sorted by encoding/json, so identical event sequences produce
+// byte-identical output — the property the cross-checker pins for
+// virtual-time traces.
+type TraceWriter struct {
+	events []traceEvent
+}
+
+// traceEvent is one element of the traceEvents array. Field names follow
+// the trace-event format specification.
+type traceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTraceWriter creates an empty writer.
+func NewTraceWriter() *TraceWriter { return &TraceWriter{} }
+
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// Duration appends a complete ("X") duration event: one slice of work on
+// track (pid, tid).
+func (tw *TraceWriter) Duration(pid, tid int, name, cat string, startNs, durNs int64, args map[string]any) {
+	tw.events = append(tw.events, traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: micros(startNs), Dur: micros(durNs),
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// FlowStart appends a flow-start ("s") event anchored inside the duration
+// slice covering startNs on (pid, tid). Pair it with FlowEnd under the
+// same id to draw an arrow between two slices — here, a message between
+// two simulated nodes. Ids must be positive.
+func (tw *TraceWriter) FlowStart(id int64, pid, tid int, name, cat string, startNs int64) {
+	tw.events = append(tw.events, traceEvent{
+		Name: name, Cat: cat, Ph: "s",
+		Ts: micros(startNs), Pid: pid, Tid: tid, ID: id,
+	})
+}
+
+// FlowEnd appends a flow-finish ("f") event binding to the enclosing
+// slice at endNs on (pid, tid).
+func (tw *TraceWriter) FlowEnd(id int64, pid, tid int, name, cat string, endNs int64) {
+	tw.events = append(tw.events, traceEvent{
+		Name: name, Cat: cat, Ph: "f", BP: "e",
+		Ts: micros(endNs), Pid: pid, Tid: tid, ID: id,
+	})
+}
+
+// ProcessName names a process (one simulated node, or the wall-clock
+// analyzer) in the viewer.
+func (tw *TraceWriter) ProcessName(pid int, name string) {
+	tw.events = append(tw.events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// ThreadName names a thread (a node's execution or utility processor).
+func (tw *TraceWriter) ThreadName(pid, tid int, name string) {
+	tw.events = append(tw.events, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Spans appends every span as a duration event on (pid, tid), oldest
+// first — the bridge from a span Buffer to the exported trace.
+func (tw *TraceWriter) Spans(pid, tid int, spans []Span) {
+	for _, s := range spans {
+		tw.Duration(pid, tid, s.Name, s.Cat, s.Start, s.End-s.Start, nil)
+	}
+}
+
+// Len returns the number of accumulated events.
+func (tw *TraceWriter) Len() int { return len(tw.events) }
+
+// Write emits the accumulated events as a complete trace-event JSON
+// document.
+func (tw *TraceWriter) Write(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: tw.events, DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []traceEvent{}
+	}
+	b, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

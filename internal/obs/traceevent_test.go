@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSampleTrace assembles a small two-node trace exercising every event
+// kind the exporters emit: process/thread metadata, duration slices on
+// exec and util tracks, a cross-node message flow, and wall-clock spans.
+func buildSampleTrace() *TraceWriter {
+	tw := NewTraceWriter()
+	tw.ProcessName(0, "node 0")
+	tw.ThreadName(0, 0, "exec (gpu)")
+	tw.ThreadName(0, 1, "util (analysis)")
+	tw.ProcessName(1, "node 1")
+	tw.ThreadName(1, 0, "exec (gpu)")
+	tw.ThreadName(1, 1, "util (analysis)")
+
+	tw.Duration(0, 1, "calc#0", "analysis", 0, 8000, nil)
+	tw.Duration(0, 1, "send", "message", 8000, 400, map[string]any{"bytes": int64(256), "to": 1})
+	tw.FlowStart(1, 0, 1, "msg", "message", 8000)
+	tw.Duration(1, 1, "recv", "message", 10400, 400, map[string]any{"bytes": int64(256), "from": 0})
+	tw.FlowEnd(1, 1, 1, "msg", "message", 10400)
+	tw.Duration(1, 0, "calc#1", "task", 10800, 50000, nil)
+
+	tw.Spans(2, 0, []Span{
+		{Name: "raycast.analyze", Cat: "analysis", Start: 1000, End: 9000},
+		{Name: "raycast.refine", Cat: "analysis", Start: 2000, End: 3500},
+	})
+	tw.ProcessName(2, "analyzer (wall clock)")
+	return tw
+}
+
+// TestTraceEventGolden pins the exported trace-event JSON byte for byte:
+// the schema consumed by Perfetto/chrome://tracing must not drift
+// silently. Regenerate with UPDATE_GOLDEN=1 go test ./internal/obs and
+// review the diff.
+func TestTraceEventGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSampleTrace().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exported trace differs from %s:\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestTraceEventDeterministicAndParses(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildSampleTrace().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSampleTrace().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical traces are not byte-identical")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if _, ok := ev["pid"]; !ok {
+			t.Errorf("event without pid: %v", ev)
+		}
+	}
+	if phases["X"] != 6 || phases["s"] != 1 || phases["f"] != 1 || phases["M"] != 7 {
+		t.Errorf("phase counts = %v, want 6 X / 1 s / 1 f / 7 M", phases)
+	}
+}
+
+func TestEmptyTraceWritesValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTraceWriter().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace does not parse: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Error("traceEvents missing or null in empty trace")
+	}
+}

@@ -50,6 +50,8 @@ func (n *Naive) histFor(f field.ID) []core.Entry {
 
 // Analyze implements core.Analyzer.
 func (n *Naive) Analyze(t *Task) *core.Result {
+	span := n.opts.Spans.Begin("paint-naive.analyze", "analysis")
+	defer span.End()
 	n.stats.Launches++
 	var deps []int
 	plans := make([][]core.Visible, len(t.Reqs))

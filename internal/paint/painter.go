@@ -106,6 +106,8 @@ func (fs *fieldState) node(k nodeKey) *nodeState {
 // pathOf returns the alternating region/partition node keys from the root
 // down to r, together with each node's space.
 func (pa *Painter) pathOf(r *region.Region) []pathStep {
+	span := pa.opts.Spans.Begin("paint.traverse", "analysis")
+	defer span.End()
 	regions := r.Path()
 	steps := make([]pathStep, 0, 2*len(regions))
 	for i, reg := range regions {
@@ -127,6 +129,8 @@ type pathStep struct {
 
 // Analyze implements core.Analyzer.
 func (pa *Painter) Analyze(t *core.Task) *core.Result {
+	span := pa.opts.Spans.Begin("paint.analyze", "analysis")
+	defer span.End()
 	pa.stats.Launches++
 	var deps []int
 	plans := make([][]core.Visible, len(t.Reqs))
@@ -137,15 +141,18 @@ func (pa *Painter) Analyze(t *core.Task) *core.Result {
 
 		// Step 1 (§5.1): hoist interfering open off-path subtrees into
 		// composite views at their common ancestor with R.
+		hoist := pa.opts.Spans.Begin("paint.hoist", "analysis")
 		for _, step := range path {
 			pa.hoistChildren(fs, step, req)
 		}
+		hoist.End()
 
 		// Step 2: materialize by traversing the path history in order.
 		// Interference testing against every (possibly nested) entry is
 		// the painter's per-launch cost, which grows with the machine as
 		// composite views accumulate children (§8.2); it is charged where
 		// the history lives.
+		scan := pa.opts.Spans.Begin("paint.scan", "analysis")
 		var plan []core.Visible
 		for _, step := range path {
 			ns := fs.node(step.key)
@@ -156,6 +163,7 @@ func (pa *Painter) Analyze(t *core.Task) *core.Result {
 			deps, plan = pa.scanItems(ns.hist, req, deps, plan)
 			pa.opts.Probe.Touch(core.LocalOwner, pa.stats.EntriesScanned-before+1)
 		}
+		scan.End()
 		if req.Priv.IsReduce() {
 			plan = nil
 		}
@@ -367,6 +375,8 @@ func (pa *Painter) prune(items []item, cover index.Space) []item {
 	if cover.IsEmpty() || pa.DisablePruning {
 		return items
 	}
+	span := pa.opts.Spans.Begin("paint.prune", "analysis")
+	defer span.End()
 	out := items[:0]
 	for _, it := range items {
 		var pts index.Space

@@ -225,6 +225,8 @@ func (rc *RayCast) kdInsert(fs *fieldState, s *eqset) {
 // overlappingBuckets returns the indices of dcp pieces whose contents
 // overlap sp.
 func (rc *RayCast) overlappingBuckets(fs *fieldState, sp index.Space) []int {
+	span := rc.opts.Spans.Begin("raycast.bvh_query", "analysis")
+	defer span.End()
 	var out []int
 	visited := fs.pieces.QuerySpace(sp, func(i int) {
 		rc.stats.OverlapTests++
@@ -300,6 +302,8 @@ func (rc *RayCast) insert(fs *fieldState, s *eqset) {
 // refine splits partially-overlapping sets and returns those fully inside
 // sp, exactly as Warnock's refine (Figure 9) but over the bucketed store.
 func (rc *RayCast) refine(fs *fieldState, sp index.Space) []*eqset {
+	span := rc.opts.Spans.Begin("raycast.refine", "analysis")
+	defer span.End()
 	var inside []*eqset
 	for _, s := range rc.candidates(fs, sp) {
 		rc.stats.OverlapTests++
@@ -350,6 +354,8 @@ func (rc *RayCast) maybeMigrate(fs *fieldState, r *region.Region) {
 
 // Analyze implements core.Analyzer.
 func (rc *RayCast) Analyze(t *core.Task) *core.Result {
+	span := rc.opts.Spans.Begin("raycast.analyze", "analysis")
+	defer span.End()
 	rc.stats.Launches++
 	var deps []int
 	plans := make([][]core.Visible, len(t.Reqs))
@@ -433,6 +439,8 @@ func privRuns(hist []core.Entry) int64 {
 // materialize-phase refine: every set overlapping the write's region is
 // covered by it after refinement.
 func (rc *RayCast) dominatingWrite(fs *fieldState, sp index.Space, e core.Entry, inside []*eqset) {
+	span := rc.opts.Spans.Begin("raycast.coalesce", "analysis")
+	defer span.End()
 	buckets := make(map[int]index.Space)
 	for _, s := range inside {
 		s.dead = true

@@ -16,6 +16,7 @@ import (
 	"visibility/internal/event"
 	"visibility/internal/field"
 	"visibility/internal/geometry"
+	"visibility/internal/obs"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 )
@@ -43,8 +44,12 @@ type Executor struct {
 	instances map[instanceKey]*data.Store // guarded by mu
 	instanceQ []instanceKey               // guarded by mu; FIFO eviction order
 	maxCached int
-	cacheHits int64 // guarded by mu
-	cacheMiss int64 // guarded by mu
+
+	// Cache outcomes live on the executor's obs registry (atomic, so
+	// workers need no lock to bump them); CacheStats reads them back.
+	metrics   *obs.Registry
+	cacheHits *obs.Counter
+	cacheMiss *obs.Counter
 }
 
 type commitKey struct {
@@ -63,6 +68,7 @@ func NewExecutor(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.St
 	if workers < 1 {
 		workers = 1
 	}
+	metrics := obs.NewRegistry()
 	x := &Executor{
 		tree:      tree,
 		an:        an,
@@ -71,6 +77,9 @@ func NewExecutor(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.St
 		events:    make(map[int]*event.Event),
 		instances: make(map[instanceKey]*data.Store),
 		maxCached: 256,
+		metrics:   metrics,
+		cacheHits: metrics.NewCounter("sched/cache/hits"),
+		cacheMiss: metrics.NewCounter("sched/cache/misses"),
 	}
 	for f, s := range init {
 		x.init[f] = s.Clone()
@@ -189,12 +198,12 @@ func (x *Executor) materialize(req core.Req, plan []core.Visible) *data.Store {
 	key := instanceKey{field: req.Field, space: req.Region.Space.Key(), plan: planSignature(plan)}
 	x.mu.Lock()
 	if st, ok := x.instances[key]; ok {
-		x.cacheHits++
 		x.mu.Unlock()
+		x.cacheHits.Inc()
 		return st
 	}
-	x.cacheMiss++
 	x.mu.Unlock()
+	x.cacheMiss.Inc()
 
 	in := x.materializeFresh(req, plan)
 
@@ -243,12 +252,14 @@ func (x *Executor) materializeFresh(req core.Req, plan []core.Visible) *data.Sto
 	return in
 }
 
-// CacheStats returns the physical-instance cache's hit and miss counters.
+// CacheStats returns the physical-instance cache's hit and miss counters
+// (thin reads over the registry counters).
 func (x *Executor) CacheStats() (hits, misses int64) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.cacheHits, x.cacheMiss
+	return x.cacheHits.Load(), x.cacheMiss.Load()
 }
+
+// Metrics returns the executor's metrics registry.
+func (x *Executor) Metrics() *obs.Registry { return x.metrics }
 
 // Drain waits for every submitted task to complete.
 func (x *Executor) Drain() {

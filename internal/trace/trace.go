@@ -23,6 +23,7 @@ import (
 	"visibility/internal/core"
 	"visibility/internal/field"
 	"visibility/internal/index"
+	"visibility/internal/obs"
 	"visibility/internal/privilege"
 )
 
@@ -36,9 +37,15 @@ type Stats struct {
 // Tracer is a memoizing wrapper around an analyzer. Not safe for
 // concurrent use (like the analyzers themselves).
 type Tracer struct {
-	an    core.Analyzer
-	opts  core.Options
-	stats Stats
+	an   core.Analyzer
+	opts core.Options
+
+	// Tracing outcomes live on the obs registry of the tracer's options
+	// (a private registry when none was supplied); TraceStats reads them
+	// back, so existing callers see the same numbers.
+	recorded      *obs.Counter
+	replayed      *obs.Counter
+	invalidations *obs.Counter
 
 	traces map[int]*traceState
 
@@ -101,7 +108,16 @@ type recordedVisible struct {
 
 // New wraps an analyzer with a tracer.
 func New(an core.Analyzer, opts core.Options) *Tracer {
-	return &Tracer{an: an, opts: opts.Normalize(), traces: make(map[int]*traceState), lastID: -1}
+	opts = opts.Normalize()
+	return &Tracer{
+		an:            an,
+		opts:          opts,
+		recorded:      opts.Metrics.NewCounter("trace/recorded"),
+		replayed:      opts.Metrics.NewCounter("trace/replayed"),
+		invalidations: opts.Metrics.NewCounter("trace/invalidations"),
+		traces:        make(map[int]*traceState),
+		lastID:        -1,
+	}
 }
 
 // Name implements core.Analyzer.
@@ -110,8 +126,15 @@ func (tr *Tracer) Name() string { return tr.an.Name() + "+trace" }
 // Stats implements core.Analyzer (the wrapped analyzer's counters).
 func (tr *Tracer) Stats() *core.Stats { return tr.an.Stats() }
 
-// TraceStats returns the tracing counters.
-func (tr *Tracer) TraceStats() Stats { return tr.stats }
+// TraceStats returns the tracing counters (a thin read over the registry
+// counters the tracer publishes).
+func (tr *Tracer) TraceStats() Stats {
+	return Stats{
+		Recorded:      tr.recorded.Load(),
+		Replayed:      tr.replayed.Load(),
+		Invalidations: tr.invalidations.Load(),
+	}
+}
 
 // Begin starts a trace instance. If the trace id was recorded before, is
 // still valid, and this instance is contiguous with the previous one, the
@@ -216,7 +239,9 @@ func (tr *Tracer) End() {
 // invalidate drops the active trace and re-analyzes everything the wrapped
 // analyzer missed.
 func (tr *Tracer) invalidate() {
-	tr.stats.Invalidations++
+	span := tr.opts.Spans.Begin("trace.invalidate", "trace")
+	defer span.End()
+	tr.invalidations.Inc()
 	tr.active.valid = false
 	tr.drain()
 }
@@ -265,10 +290,12 @@ func (tr *Tracer) Analyze(t *core.Task) *core.Result {
 			tr.startID = -1
 			return tr.analyzeAndRecord(t)
 		}
+		span := tr.opts.Spans.Begin("trace.replay", "trace")
+		defer span.End()
 		rec := ts.results[tr.replayIdx]
 		tr.replayIdx++
 		tr.pending = append(tr.pending, t)
-		tr.stats.Replayed++
+		tr.replayed.Inc()
 		// Replay is a constant-time local operation per launch.
 		tr.opts.Probe.Touch(core.LocalOwner, 1)
 		return tr.instantiate(t, rec)
@@ -295,6 +322,8 @@ func (tr *Tracer) analyzeAndRecord(t *core.Task) *core.Result {
 	if ts == nil {
 		return res
 	}
+	span := tr.opts.Spans.Begin("trace.record", "trace")
+	defer span.End()
 	rec := recordedResult{
 		plans:      make([][]recordedVisible, len(res.Plans)),
 		planFields: make([]field.ID, len(res.Plans)),
@@ -330,7 +359,7 @@ func (tr *Tracer) analyzeAndRecord(t *core.Task) *core.Result {
 	}
 	ts.sigs = append(ts.sigs, sigOf(t))
 	ts.results = append(ts.results, rec)
-	tr.stats.Recorded++
+	tr.recorded.Inc()
 	return res
 }
 
@@ -361,6 +390,7 @@ var _ core.Analyzer = (*Tracer)(nil)
 // Describe returns a human-readable summary of the tracer state, for the
 // inspection CLI.
 func (tr *Tracer) Describe() string {
+	st := tr.TraceStats()
 	return fmt.Sprintf("traces=%d recorded=%d replayed=%d invalidations=%d",
-		len(tr.traces), tr.stats.Recorded, tr.stats.Replayed, tr.stats.Invalidations)
+		len(tr.traces), st.Recorded, st.Replayed, st.Invalidations)
 }

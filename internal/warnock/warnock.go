@@ -141,6 +141,8 @@ func (w *Warnock) fieldFor(f field.ID) *fieldState {
 // lookup returns the leaf nodes whose sets overlap sp, descending from the
 // memoized nodes for the region (or the root on first use).
 func (w *Warnock) lookup(fs *fieldState, regionID int, sp index.Space) []*bnode {
+	span := w.opts.Spans.Begin("warnock.bvh_query", "analysis")
+	defer span.End()
 	start, ok := fs.memo[regionID]
 	if !ok || w.DisableMemo {
 		start = []*bnode{fs.root}
@@ -197,6 +199,8 @@ func privRuns(hist []core.Entry) int64 {
 // inside/outside halves (Figure 9, refine), then returns the leaves fully
 // inside sp.
 func (w *Warnock) refine(fs *fieldState, regionID int, sp index.Space) []*bnode {
+	span := w.opts.Spans.Begin("warnock.refine", "analysis")
+	defer span.End()
 	leaves := w.lookup(fs, regionID, sp)
 	var inside []*bnode
 	for _, b := range leaves {
@@ -248,6 +252,8 @@ func (w *Warnock) refine(fs *fieldState, regionID int, sp index.Space) []*bnode 
 
 // Analyze implements core.Analyzer.
 func (w *Warnock) Analyze(t *core.Task) *core.Result {
+	span := w.opts.Spans.Begin("warnock.analyze", "analysis")
+	defer span.End()
 	w.stats.Launches++
 	var deps []int
 	plans := make([][]core.Visible, len(t.Reqs))
