@@ -48,7 +48,14 @@ func encodeSpace(s IndexSpace) [][]int64 {
 	return out
 }
 
+// decodeSpace rebuilds an index space from encoded rect rows. It rejects —
+// with errors, never panics — every malformed shape an untrusted
+// checkpoint can carry: a dimension outside [1, MaxDim], a row whose
+// length is not 2·dim, and inverted bounds (lo > hi).
 func decodeSpace(dim int, rows [][]int64) (IndexSpace, error) {
+	if dim < 1 || dim > geometry.MaxDim {
+		return index.Empty(1), fmt.Errorf("visibility: dimension %d outside [1, %d]", dim, geometry.MaxDim)
+	}
 	rects := make([]geometry.Rect, 0, len(rows))
 	for _, row := range rows {
 		if len(row) != 2*dim {
@@ -58,6 +65,9 @@ func decodeSpace(dim int, rows [][]int64) (IndexSpace, error) {
 		for a := 0; a < dim; a++ {
 			r.Lo.C[a] = row[2*a]
 			r.Hi.C[a] = row[2*a+1]
+			if r.Lo.C[a] > r.Hi.C[a] {
+				return index.Empty(dim), fmt.Errorf("visibility: inverted rect %v (lo > hi on axis %d)", row, a)
+			}
 		}
 		rects = append(rects, r)
 	}
@@ -131,6 +141,25 @@ func Restore(rd io.Reader, cfg Config) (*Runtime, map[string]*Region, error) {
 	rt := New(cfg)
 	roots := make(map[string]*Region, len(file.Regions))
 	for _, cr := range file.Regions {
+		// A restore feeds CreateRegion and Partition, which panic on
+		// malformed structure by design (program bugs); untrusted bytes
+		// must be screened into errors here instead.
+		if cr.Name == "" {
+			return nil, nil, fmt.Errorf("visibility: checkpoint region with empty name")
+		}
+		if _, dup := roots[cr.Name]; dup {
+			return nil, nil, fmt.Errorf("visibility: duplicate region name %q in checkpoint", cr.Name)
+		}
+		if len(cr.Fields) == 0 {
+			return nil, nil, fmt.Errorf("visibility: checkpoint region %q has no fields", cr.Name)
+		}
+		seenFields := make(map[string]bool, len(cr.Fields))
+		for _, f := range cr.Fields {
+			if f == "" || seenFields[f] {
+				return nil, nil, fmt.Errorf("visibility: region %q has empty or duplicate field %q", cr.Name, f)
+			}
+			seenFields[f] = true
+		}
 		space, err := decodeSpace(cr.Dim, cr.Space)
 		if err != nil {
 			return nil, nil, err
@@ -149,7 +178,15 @@ func Restore(rd io.Reader, cfg Config) (*Runtime, map[string]*Region, error) {
 				}
 				pieces = append(pieces, sp)
 			}
+			if cp.Parent < 0 || cp.Parent >= root.tree.tree.NumRegions() {
+				return nil, nil, fmt.Errorf("visibility: partition %q references unknown parent region %d", cp.Name, cp.Parent)
+			}
 			parent := &Region{rt: rt, tree: root.tree, reg: root.tree.tree.Region(cp.Parent)}
+			for i, sp := range pieces {
+				if !parent.reg.Space.Covers(sp) {
+					return nil, nil, fmt.Errorf("visibility: piece %d of partition %q is not a subset of its parent", i, cp.Name)
+				}
+			}
 			parent.Partition(cp.Name, pieces)
 		}
 
@@ -166,6 +203,9 @@ func Restore(rd io.Reader, cfg Config) (*Runtime, map[string]*Region, error) {
 				var p Point
 				for a := 0; a < cr.Dim; a++ {
 					p.C[a] = int64(row[a])
+				}
+				if !space.Contains(p) {
+					return nil, nil, fmt.Errorf("visibility: value row %v outside region %q", row, cr.Name)
 				}
 				st.Set(p, row[cr.Dim])
 			}

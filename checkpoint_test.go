@@ -118,3 +118,92 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 		t.Error("expected version error")
 	}
 }
+
+// TestRestoreRejectsCorruptInput feeds Restore the malformed shapes an
+// untrusted checkpoint (e.g. the serving layer's restore endpoint) can
+// carry; every one must come back as an error, never a panic.
+func TestRestoreRejectsCorruptInput(t *testing.T) {
+	region := func(mutate string) string {
+		base := `{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],"partitions":[],"values":{"v":[[0,1]]}}`
+		if mutate != "" {
+			base = mutate
+		}
+		return `{"version":1,"regions":[` + base + `]}`
+	}
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"empty region name",
+			region(`{"name":"","dim":1,"space":[[0,7]],"fields":["v"]}`),
+			"empty name"},
+		{"duplicate region names",
+			`{"version":1,"regions":[` +
+				`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"]},` +
+				`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"]}]}`,
+			"duplicate region name"},
+		{"no fields",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":[]}`),
+			"no fields"},
+		{"duplicate field names",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v","v"]}`),
+			"duplicate field"},
+		{"dim zero",
+			region(`{"name":"r","dim":0,"space":[[0,7]],"fields":["v"]}`),
+			"dimension 0"},
+		{"dim too large",
+			region(`{"name":"r","dim":9,"space":[[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]],"fields":["v"]}`),
+			"dimension 9"},
+		{"rect row wrong length",
+			region(`{"name":"r","dim":2,"space":[[0,7]],"fields":["v"]}`),
+			"malformed rect"},
+		{"inverted rect lo > hi",
+			region(`{"name":"r","dim":1,"space":[[7,0]],"fields":["v"]}`),
+			"lo > hi"},
+		{"partition parent out of range",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],` +
+				`"partitions":[{"parent":99,"name":"p","pieces":[[[0,3]]]}]}`),
+			"unknown parent"},
+		{"partition parent negative",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],` +
+				`"partitions":[{"parent":-1,"name":"p","pieces":[[[0,3]]]}]}`),
+			"unknown parent"},
+		{"partition piece outside parent",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],` +
+				`"partitions":[{"parent":0,"name":"p","pieces":[[[0,30]]]}]}`),
+			"not a subset"},
+		{"partition piece malformed rect",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],` +
+				`"partitions":[{"parent":0,"name":"p","pieces":[[[3]]]}]}`),
+			"malformed rect"},
+		{"values for unknown field",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],"values":{"w":[[0,1]]}}`),
+			"unknown field"},
+		{"value row wrong length",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],"values":{"v":[[0]]}}`),
+			"malformed value row"},
+		{"value row outside region",
+			region(`{"name":"r","dim":1,"space":[[0,7]],"fields":["v"],"values":{"v":[[55,1]]}}`),
+			"outside region"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Restore panicked: %v", r)
+				}
+			}()
+			rt, _, err := visibility.Restore(strings.NewReader(tc.in), visibility.Config{})
+			if rt != nil {
+				defer rt.Close()
+			}
+			if err == nil {
+				t.Fatal("Restore accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -12,7 +12,11 @@
 //
 //	visbench [-app stencil|circuit|pennant|all] [-metric init|weak|all]
 //	         [-max-nodes 512] [-iters 3] [-format figure|tsv] [-reps 1]
-//	         [-stats] [-metrics-out cells.json]
+//	         [-stats] [-metrics-out cells.json] [-list]
+//
+// -list prints the registered applications (with the paper figures they
+// reproduce), coherence algorithms, and system configurations, all drawn
+// from the shared registries.
 package main
 
 import (
@@ -21,22 +25,19 @@ import (
 	"io"
 	"os"
 
+	"visibility/internal/algo"
 	"visibility/internal/apps"
-	"visibility/internal/apps/circuit"
-	"visibility/internal/apps/pennant"
-	"visibility/internal/apps/stencil"
 	"visibility/internal/harness"
-)
 
-var figureOf = map[string]map[string]string{
-	"stencil":         {"init": "Figure 12", "weak": "Figure 15"},
-	"circuit":         {"init": "Figure 13", "weak": "Figure 16"},
-	"pennant":         {"init": "Figure 14", "weak": "Figure 17"},
-	"pennant-futures": {"init": "Figure 14 (futures dt)", "weak": "Figure 17 (futures dt)"},
-}
+	// The app packages self-register with the apps registry.
+	_ "visibility/internal/apps/circuit"
+	_ "visibility/internal/apps/pennant"
+	_ "visibility/internal/apps/stencil"
+)
 
 func main() {
 	appFlag := flag.String("app", "all", "application: stencil, circuit, pennant, or all")
+	list := flag.Bool("list", false, "list registered applications, figures, and algorithms, then exit")
 	metric := flag.String("metric", "all", "metric: init (Figs 12-14), weak (Figs 15-17), or all")
 	maxNodes := flag.Int("max-nodes", 512, "largest simulated node count (sweeps powers of two)")
 	iters := flag.Int("iters", 3, "steady-state iterations to time")
@@ -47,25 +48,26 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics snapshots as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
-	builders := map[string]apps.Builder{
-		"stencil":         stencil.New,
-		"circuit":         circuit.New,
-		"pennant":         pennant.New,
-		"pennant-futures": pennant.NewFutures,
+	if *list {
+		printInventory()
+		return
 	}
+
 	var names []string
 	if *appFlag == "all" {
 		names = []string{"stencil", "circuit", "pennant"}
-	} else if _, ok := builders[*appFlag]; ok {
+	} else if _, ok := apps.Lookup(*appFlag); ok {
 		names = []string{*appFlag}
 	} else {
-		fmt.Fprintf(os.Stderr, "visbench: unknown app %q\n", *appFlag)
+		fmt.Fprintf(os.Stderr, "visbench: unknown app %q (have %v)\n", *appFlag, apps.Names())
 		os.Exit(2)
 	}
+	figureOf := harness.Figures()
 
 	var allResults []*harness.Result
 	for _, name := range names {
-		results, err := harness.SweepTraced(builders[name], name, *maxNodes, *iters, *tracing)
+		builder, _ := apps.Lookup(name)
+		results, err := harness.SweepTraced(builder, name, *maxNodes, *iters, *tracing)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
 			os.Exit(1)
@@ -124,5 +126,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// printInventory enumerates everything the harness can run, pulled from
+// the shared registries rather than hand-kept lists: registered
+// applications with the paper figures they reproduce, the registered
+// coherence algorithms, and the paper's five system configurations.
+func printInventory() {
+	figures := harness.Figures()
+	fmt.Println("applications:")
+	for _, name := range apps.Names() {
+		fig := figures[name]
+		fmt.Printf("  %-16s init=%-24s weak=%s\n", name, fig["init"], fig["weak"])
+	}
+	fmt.Println("algorithms:")
+	for _, name := range algo.Names() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("systems (paper configurations):")
+	for _, c := range harness.PaperConfigs() {
+		fmt.Printf("  %s\n", harness.SystemName(c.Algorithm, c.DCR))
 	}
 }

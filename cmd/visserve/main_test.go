@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"visibility"
+	"visibility/internal/server/client"
+	"visibility/internal/wire"
+)
+
+// syncBuffer lets the test read run's output while run is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeEndToEnd exercises the real command path: serve on an
+// ephemeral port, replay the quickstart workload over HTTP, compare the
+// served snapshot against an in-process run, then drain via SIGTERM —
+// the same signal a supervisor sends.
+func TestServeEndToEnd(t *testing.T) {
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() { errc <- run([]string{"-addr", "127.0.0.1:0"}, &out) }()
+
+	var target string
+	deadline := time.Now().Add(10 * time.Second)
+	for target == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			target = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	c := client.New(target)
+	sess, err := c.CreateSession(client.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Snapshot("cells", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := visibility.New(visibility.Config{})
+	defer rt.Close()
+	env := wire.NewEnv(rt)
+	if _, err := env.Apply(wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+	var want [][]float64
+	rt.Read(env.Region("cells"), "val").Each(func(p visibility.Point, v float64) {
+		want = append(want, []float64{float64(p.C[0]), v})
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("served snapshot diverges from in-process run")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful drain on SIGTERM, as a supervisor would deliver it.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "drained: 0 sessions remain, 0 jobs in flight") {
+		t.Fatalf("drain summary missing from output: %q", s)
+	}
+}
+
+// TestLoadMode runs the load harness end to end with an in-process
+// server and four concurrent tenants.
+func TestLoadMode(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-load", "4", "-iterations", "2"}, &out); err != nil {
+		t.Fatalf("load mode failed: %v\noutput: %s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "sessions=4") || !strings.Contains(s, "deterministic ✓") {
+		t.Fatalf("load summary missing: %q", s)
+	}
+	if !strings.Contains(s, "drained: 0 sessions remain") {
+		t.Fatalf("load harness did not drain its server: %q", s)
+	}
+	// 2 iterations × (3 t1 + 3 t2) tasks per session.
+	if !strings.Contains(s, fmt.Sprintf("tasks/session=%d", 12)) {
+		t.Fatalf("unexpected task count in summary: %q", s)
+	}
+}

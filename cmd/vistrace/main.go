@@ -24,9 +24,6 @@ import (
 
 	"visibility/internal/algo"
 	"visibility/internal/apps"
-	"visibility/internal/apps/circuit"
-	"visibility/internal/apps/pennant"
-	"visibility/internal/apps/stencil"
 	"visibility/internal/cluster"
 	"visibility/internal/core"
 	"visibility/internal/dist"
@@ -34,6 +31,11 @@ import (
 	"visibility/internal/graph"
 	"visibility/internal/index"
 	"visibility/internal/obs"
+
+	// The app packages self-register with the apps registry.
+	_ "visibility/internal/apps/circuit"
+	_ "visibility/internal/apps/pennant"
+	_ "visibility/internal/apps/stencil"
 )
 
 func main() {
@@ -50,12 +52,9 @@ func main() {
 
 	// Validate every enumerated flag up front: a typo must be a usage
 	// error, not a silent fall-through to the default behavior.
-	builders := map[string]apps.Builder{
-		"stencil": stencil.New, "circuit": circuit.New, "pennant": pennant.New,
-	}
-	build, ok := builders[*appFlag]
+	build, ok := apps.Lookup(*appFlag)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "vistrace: unknown app %q (have stencil, circuit, pennant)\n", *appFlag)
+		fmt.Fprintf(os.Stderr, "vistrace: unknown app %q (have %v)\n", *appFlag, apps.Names())
 		os.Exit(2)
 	}
 	newAn, err := algo.Lookup(*algoFlag)

@@ -156,3 +156,5 @@ func New(nodes int) *apps.Instance {
 	}
 	return inst
 }
+
+func init() { apps.Register("circuit", New) }

@@ -215,3 +215,8 @@ func build(nodes int, useFutures bool) *apps.Instance {
 	}
 	return inst
 }
+
+func init() {
+	apps.Register("pennant", New)
+	apps.Register("pennant-futures", NewFutures)
+}

@@ -113,3 +113,5 @@ func New(nodes int) *apps.Instance {
 	}
 	return inst
 }
+
+func init() { apps.Register("stencil", New) }

@@ -235,6 +235,18 @@ func WriteMetricsJSON(w io.Writer, results []*Result) error {
 	return err
 }
 
+// Figures maps application name to metric ("init" or "weak") to the
+// paper figure that plots it — the shared source for visbench's figure
+// headers and its -list inventory.
+func Figures() map[string]map[string]string {
+	return map[string]map[string]string{
+		"stencil":         {"init": "Figure 12", "weak": "Figure 15"},
+		"circuit":         {"init": "Figure 13", "weak": "Figure 16"},
+		"pennant":         {"init": "Figure 14", "weak": "Figure 17"},
+		"pennant-futures": {"init": "Figure 14 (futures dt)", "weak": "Figure 17 (futures dt)"},
+	}
+}
+
 // PaperConfigs returns the five configurations of every figure in §8:
 // ray casting and Warnock's algorithm each with and without DCR, and the
 // painter's algorithm without DCR (its implementation predates a stable

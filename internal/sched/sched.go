@@ -35,6 +35,7 @@ type Executor struct {
 	committed map[commitKey]*data.Store // guarded by mu
 	events    map[int]*event.Event      // guarded by mu
 	all       []*event.Event            // guarded by mu
+	deps      map[int][]int             // guarded by mu; analyzer deps per task
 
 	// Physical-instance cache: two materializations driven by identical
 	// plans produce identical contents, so the store can be reused
@@ -63,18 +64,29 @@ type instanceKey struct {
 	plan  string // plan signature: producers, privileges, points
 }
 
-// NewExecutor creates an executor with workers parallel processors.
+// NewExecutor creates an executor with workers parallel processors and a
+// private metrics registry.
 func NewExecutor(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int) *Executor {
+	return NewExecutorMetrics(tree, an, init, workers, nil)
+}
+
+// NewExecutorMetrics is NewExecutor publishing into the given registry
+// (nil gets a private one); a serving layer passes one registry per
+// session so scheduler counters land next to the analyzer's.
+func NewExecutorMetrics(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int, metrics *obs.Registry) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
-	metrics := obs.NewRegistry()
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	x := &Executor{
 		tree:      tree,
 		an:        an,
 		init:      make(map[field.ID]*data.Store, len(init)),
 		committed: make(map[commitKey]*data.Store),
 		events:    make(map[int]*event.Event),
+		deps:      make(map[int][]int),
 		instances: make(map[instanceKey]*data.Store),
 		maxCached: 256,
 		metrics:   metrics,
@@ -105,6 +117,7 @@ func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.
 	}
 
 	x.mu.Lock()
+	x.deps[t.ID] = append([]int(nil), res.Deps...)
 	pres := make([]*event.Event, 0, len(res.Deps)+len(t.FutureDeps))
 	for _, d := range res.Deps {
 		if e, ok := x.events[d]; ok {
@@ -260,6 +273,19 @@ func (x *Executor) CacheStats() (hits, misses int64) {
 
 // Metrics returns the executor's metrics registry.
 func (x *Executor) Metrics() *obs.Registry { return x.metrics }
+
+// Deps returns a copy of the analyzer-reported dependences of every
+// submitted task, keyed by task ID — the discovered dependence graph
+// (future edges live on the tasks themselves).
+func (x *Executor) Deps() map[int][]int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make(map[int][]int, len(x.deps))
+	for id, ds := range x.deps {
+		out[id] = append([]int(nil), ds...)
+	}
+	return out
+}
 
 // Drain waits for every submitted task to complete.
 func (x *Executor) Drain() {

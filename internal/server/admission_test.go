@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"visibility/internal/wire"
+)
+
+func createSessionHTTP(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sessions", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	var body struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.ID
+}
+
+func postWorkload(t *testing.T, url, id string, wl *wire.Workload) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/sessions/"+id+"/workloads", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBackpressureSessionQueue fills one session's bounded queue behind a
+// deliberately blocked worker and checks overload surfaces as 429 +
+// Retry-After — and that nothing leaks once the queue drains: in-flight
+// and session counts return to zero, and the worker goroutines exit.
+func TestBackpressureSessionQueue(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv := New(Config{MaxQueue: 2, MaxInFlight: 64, IdleTimeout: -1})
+	hs := httptest.NewServer(srv.Handler())
+	id := createSessionHTTP(t, hs.URL)
+	s := srv.session(id)
+	if s == nil {
+		t.Fatal("session not found internally")
+	}
+
+	// Park the worker on a job we control.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := srv.submit(s, job{fn: func() { close(started); <-release }}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Fill the queue to its cap.
+	for i := 0; i < srv.cfg.MaxQueue; i++ {
+		if err := srv.submit(s, job{fn: func() {}}); err != nil {
+			t.Fatalf("queue slot %d refused: %v", i, err)
+		}
+	}
+
+	// The next submission over HTTP must be rejected with the
+	// backpressure contract, not buffered.
+	resp := postWorkload(t, hs.URL, id, wire.ExampleQuickstart())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	resp.Body.Close()
+	if got := srv.metrics.NewCounter("server/admission/rejected").Load(); got == 0 {
+		t.Fatal("admission rejection not counted")
+	}
+
+	// Release the worker; the queue drains and the same workload is now
+	// admitted.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight jobs never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp = postWorkload(t, hs.URL, id, wire.ExampleQuickstart())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain submit: status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Tear down: DELETE waits for the worker, then the process is clean.
+	req, _ := http.NewRequest("DELETE", hs.URL+"/v1/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	if n := srv.SessionCount(); n != 0 {
+		t.Fatalf("%d sessions after delete", n)
+	}
+	if n := srv.InFlight(); n != 0 {
+		t.Fatalf("%d jobs in flight after delete", n)
+	}
+	if err := srv.Shutdown(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// No goroutine leak: the worker, janitor, and runtime pools are gone.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestBackpressureGlobal exhausts the global in-flight cap across two
+// sessions: the second tenant is throttled by the process-wide bound even
+// though its own queue is empty.
+func TestBackpressureGlobal(t *testing.T) {
+	srv := New(Config{MaxQueue: 8, MaxInFlight: 1, IdleTimeout: -1})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(t.Context()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	idA := createSessionHTTP(t, hs.URL)
+	idB := createSessionHTTP(t, hs.URL)
+	a := srv.session(idA)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := srv.submit(a, job{fn: func() { close(started); <-release }}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	defer close(release)
+
+	// Session B has a free queue, but the global cap is spent.
+	resp := postWorkload(t, hs.URL, idB, wire.ExampleQuickstart())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("global overload: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestSessionLimit bounds concurrent sessions.
+func TestSessionLimit(t *testing.T) {
+	srv := New(Config{MaxSessions: 2, IdleTimeout: -1})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(t.Context()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	createSessionHTTP(t, hs.URL)
+	createSessionHTTP(t, hs.URL)
+	resp, err := http.Post(hs.URL+"/v1/sessions", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit create: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpointShape checks /metrics merges the server registry
+// with per-session registries and stays parseable JSON.
+func TestMetricsEndpointShape(t *testing.T) {
+	srv := New(Config{IdleTimeout: -1})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(t.Context()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	id := createSessionHTTP(t, hs.URL)
+	resp := postWorkload(t, hs.URL, id, wire.ExampleQuickstart())
+	resp.Body.Close()
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var body struct {
+		Server   map[string]int64            `json:"server"`
+		Sessions map[string]map[string]int64 `json:"sessions"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&body); err != nil {
+		t.Fatalf("/metrics is not parseable: %v", err)
+	}
+	if body.Server["server/http/workloads/requests"] == 0 {
+		t.Errorf("endpoint request counter missing: %v", body.Server)
+	}
+	if body.Server["server/http/workloads/latency_us/count"] == 0 {
+		t.Errorf("endpoint latency histogram missing: %v", body.Server)
+	}
+	if _, ok := body.Sessions[id]; !ok {
+		t.Errorf("session %s missing from /metrics", id)
+	}
+	if body.Sessions[id]["sched/cache/misses"]+body.Sessions[id]["sched/cache/hits"] == 0 {
+		t.Errorf("session registry missing scheduler counters: %v", body.Sessions[id])
+	}
+}

@@ -1,0 +1,235 @@
+// Package client is the Go client for the visserve analysis service: it
+// speaks the wire format over HTTP, honors the server's backpressure
+// contract (429 + Retry-After is retried with the advertised delay, up to
+// a bounded attempt budget), and mirrors the session lifecycle — create,
+// submit, query, checkpoint, restore, close.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"visibility"
+	"visibility/internal/obs"
+	"visibility/internal/wire"
+)
+
+// Client talks to one visserve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	// MaxRetries bounds 429 retries per request (default 20).
+	MaxRetries int
+	// RetryWait overrides the server's Retry-After delay when set —
+	// tests and load harnesses use a short wait.
+	RetryWait time.Duration
+}
+
+// New creates a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}, MaxRetries: 20}
+}
+
+// SessionConfig selects the per-session runtime configuration.
+type SessionConfig struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	Tracing   bool   `json:"tracing,omitempty"`
+}
+
+// Session is a handle to one server-side session.
+type Session struct {
+	c  *Client
+	ID string
+}
+
+// StatusError is a non-2xx response, with the server's error body.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+// do issues one request, retrying 429s per the Retry-After header, and
+// decodes a JSON body into out when out is non-nil. body, when non-nil,
+// is re-readable (bytes.Reader) so retries can rewind it.
+func (c *Client) do(method, path string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.MaxRetries {
+			wait := c.RetryWait
+			if wait == 0 {
+				secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+				if secs < 1 {
+					secs = 1
+				}
+				wait = time.Duration(secs) * time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+				return &StatusError{Code: resp.StatusCode, Message: eb.Error}
+			}
+			return &StatusError{Code: resp.StatusCode, Message: string(data)}
+		}
+		if out == nil {
+			return nil
+		}
+		switch dst := out.(type) {
+		case *[]byte:
+			*dst = data
+			return nil
+		default:
+			return json.Unmarshal(data, out)
+		}
+	}
+}
+
+// CreateSession creates a session with the given runtime configuration.
+func (c *Client) CreateSession(cfg SessionConfig) (*Session, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := c.do("POST", "/v1/sessions", body, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: resp.ID}, nil
+}
+
+// Restore creates a session seeded from a checkpoint.
+func (c *Client) Restore(checkpoint []byte, cfg SessionConfig) (*Session, error) {
+	path := "/v1/sessions/restore?algorithm=" + cfg.Algorithm
+	if cfg.Tracing {
+		path += "&tracing=true"
+	}
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := c.do("POST", path, checkpoint, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: resp.ID}, nil
+}
+
+// Metrics returns the merged server + per-session metrics snapshot.
+func (c *Client) Metrics() (map[string]json.RawMessage, error) {
+	var out map[string]json.RawMessage
+	if err := c.do("GET", "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit sends one workload to the session; the server queues it on the
+// session's worker (202), retried through backpressure.
+func (s *Session) Submit(wl *wire.Workload) error {
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, wl); err != nil {
+		return err
+	}
+	return s.c.do("POST", "/v1/sessions/"+s.ID+"/workloads", buf.Bytes(), nil)
+}
+
+// Snapshot reads the coherent contents of region/field: rows of
+// (coordinates..., value), in deterministic point order.
+func (s *Session) Snapshot(region, field string) ([][]float64, error) {
+	var resp struct {
+		Points [][]float64 `json:"points"`
+	}
+	err := s.c.do("GET", "/v1/sessions/"+s.ID+"/snapshot?region="+region+"&field="+field, nil, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// Dependences returns the discovered dependence graph for the tree of
+// the named region.
+func (s *Session) Dependences(region string) ([]visibility.TaskInfo, error) {
+	var resp struct {
+		Tasks []visibility.TaskInfo `json:"tasks"`
+	}
+	if err := s.c.do("GET", "/v1/sessions/"+s.ID+"/graph?region="+region, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tasks, nil
+}
+
+// DOT returns the dependence graph in Graphviz format.
+func (s *Session) DOT(region string) (string, error) {
+	var raw []byte
+	if err := s.c.do("GET", "/v1/sessions/"+s.ID+"/dot?region="+region, nil, &raw); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// Checkpoint downloads the session's checkpoint.
+func (s *Session) Checkpoint() ([]byte, error) {
+	var raw []byte
+	if err := s.c.do("GET", "/v1/sessions/"+s.ID+"/checkpoint", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Metrics returns the session's metrics snapshot.
+func (s *Session) Metrics() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	if err := s.c.do("GET", "/v1/sessions/"+s.ID+"/metrics", nil, &snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Spans returns the session's recorded analysis spans.
+func (s *Session) Spans() ([]obs.Span, error) {
+	var resp struct {
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := s.c.do("GET", "/v1/sessions/"+s.ID+"/spans", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
+}
+
+// Close deletes the session; the server drains its queue and releases
+// the runtime before returning.
+func (s *Session) Close() error {
+	return s.c.do("DELETE", "/v1/sessions/"+s.ID, nil, nil)
+}

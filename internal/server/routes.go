@@ -1,0 +1,430 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"visibility"
+	"visibility/internal/obs"
+	"visibility/internal/wire"
+)
+
+// latencyBounds are the per-endpoint latency histogram buckets, in
+// microseconds.
+var latencyBounds = []int64{100, 1_000, 10_000, 100_000, 1_000_000}
+
+// routes mounts every endpoint, each wrapped with request counting and a
+// latency histogram under "server/http/<name>/".
+func (srv *Server) routes() {
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		requests := srv.metrics.NewCounter("server/http/" + name + "/requests")
+		latency := srv.metrics.NewHistogram("server/http/"+name+"/latency_us", latencyBounds...)
+		srv.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			requests.Inc()
+			h(w, r)
+			latency.Observe(time.Since(start).Microseconds())
+		})
+	}
+	handle("POST /v1/sessions", "sessions_create", srv.handleCreateSession)
+	handle("GET /v1/sessions", "sessions_list", srv.handleListSessions)
+	handle("POST /v1/sessions/restore", "sessions_restore", srv.handleRestore)
+	handle("DELETE /v1/sessions/{id}", "sessions_delete", srv.handleDeleteSession)
+	handle("POST /v1/sessions/{id}/workloads", "workloads", srv.handleWorkloads)
+	handle("GET /v1/sessions/{id}/snapshot", "snapshot", srv.handleSnapshot)
+	handle("GET /v1/sessions/{id}/graph", "graph", srv.handleGraph)
+	handle("GET /v1/sessions/{id}/dot", "dot", srv.handleDOT)
+	handle("GET /v1/sessions/{id}/checkpoint", "checkpoint", srv.handleCheckpoint)
+	handle("GET /v1/sessions/{id}/metrics", "session_metrics", srv.handleSessionMetrics)
+	handle("GET /v1/sessions/{id}/spans", "session_spans", srv.handleSessionSpans)
+	handle("GET /metrics", "metrics", srv.handleMetrics)
+	handle("GET /debug/spans", "debug_spans", srv.handleDebugSpans)
+	handle("GET /healthz", "healthz", srv.handleHealthz)
+}
+
+// --- response plumbing --------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// fail maps service errors to HTTP statuses: overload is 429 with
+// Retry-After (the backpressure contract), draining is 503, a closing
+// session conflicts, anything else is the caller's fault.
+func (srv *Server) fail(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch err {
+	case errOverload, errSessionBusy, errTooManySessions:
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errDraining:
+		w.Header().Set("Retry-After", "5")
+		status = http.StatusServiceUnavailable
+	case errSessionClosing:
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func notFound(w http.ResponseWriter, what string) {
+	writeJSON(w, http.StatusNotFound, errorBody{Error: what + " not found"})
+}
+
+// lookup finds the session from the path or writes a 404.
+func (srv *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
+	s := srv.session(r.PathValue("id"))
+	if s == nil {
+		notFound(w, "session "+r.PathValue("id"))
+	}
+	return s
+}
+
+// --- session lifecycle endpoints ----------------------------------------
+
+type sessionConfigBody struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	Tracing   bool   `json:"tracing,omitempty"`
+}
+
+type sessionBody struct {
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+	Tracing   bool   `json:"tracing"`
+	Queued    int    `json:"queued"`
+	Failed    string `json:"failed,omitempty"`
+}
+
+func (s *session) describe() sessionBody {
+	_, queued := s.idleSince()
+	body := sessionBody{ID: s.id, Algorithm: s.algorithm, Tracing: s.tracing, Queued: queued}
+	if err := s.latchedFailure(); err != nil {
+		body.Failed = err.Error()
+	}
+	return body
+}
+
+func (srv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var cfg sessionConfigBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil && err.Error() != "EOF" {
+		srv.fail(w, fmt.Errorf("decoding session config: %v", err))
+		return
+	}
+	s, err := srv.createSession(cfg.Algorithm, cfg.Tracing, func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
+		rt := visibility.New(c)
+		return rt, wire.NewEnv(rt), nil
+	})
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.describe())
+}
+
+func (srv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	s, err := srv.createSession(q.Get("algorithm"), q.Get("tracing") == "true",
+		func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
+			rt, roots, err := visibility.Restore(r.Body, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			env, err := wire.EnvFromRestore(rt, roots)
+			if err != nil {
+				rt.Close()
+				return nil, nil, err
+			}
+			return rt, env, nil
+		})
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.describe())
+}
+
+func (srv *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	list := srv.sessionList()
+	out := make([]sessionBody, 0, len(list))
+	for _, s := range list {
+		out = append(out, s.describe())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (srv *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	srv.closeSession(s, true)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- workload submission ------------------------------------------------
+
+func (srv *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	if err := s.latchedFailure(); err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "session failed: " + err.Error()})
+		return
+	}
+	wl, err := wire.Decode(r.Body)
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	if err := srv.submit(s, job{fn: func() {
+		if _, err := s.env.Apply(wl); err != nil {
+			s.latchFailure(err)
+		}
+	}}); err != nil {
+		srv.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{
+		"regions": len(wl.Regions),
+		"tasks":   len(wl.Tasks),
+	})
+}
+
+// --- query endpoints (sync jobs: FIFO behind submitted batches) ---------
+
+// regionParam resolves the ?region= query on the worker goroutine.
+func regionParam(s *session, r *http.Request) (string, func() *visibility.Region) {
+	name := r.URL.Query().Get("region")
+	return name, func() *visibility.Region { return s.env.Region(name) }
+}
+
+func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	name, resolve := regionParam(s, r)
+	field := r.URL.Query().Get("field")
+	var (
+		rows    [][]float64
+		missing string
+	)
+	err := srv.doSync(s, func() {
+		reg := resolve()
+		if reg == nil {
+			missing = "region " + name
+			return
+		}
+		if !reg.HasField(field) {
+			missing = fmt.Sprintf("field %q of region %s", field, name)
+			return
+		}
+		dim := reg.Space().Dim()
+		s.rt.Read(reg, field).Each(func(p visibility.Point, v float64) {
+			row := make([]float64, 0, dim+1)
+			for a := 0; a < dim; a++ {
+				row = append(row, float64(p.C[a]))
+			}
+			rows = append(rows, append(row, v))
+		})
+	})
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	if missing != "" {
+		notFound(w, missing)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"region": name, "field": field, "points": rows})
+}
+
+func (srv *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	name, resolve := regionParam(s, r)
+	var (
+		tasks   []visibility.TaskInfo
+		missing string
+	)
+	err := srv.doSync(s, func() {
+		reg := resolve()
+		if reg == nil {
+			missing = "region " + name
+			return
+		}
+		tasks = s.rt.Dependences(reg)
+	})
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	if missing != "" {
+		notFound(w, missing)
+		return
+	}
+	if tasks == nil {
+		tasks = []visibility.TaskInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"region": name, "tasks": tasks})
+}
+
+func (srv *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	name, resolve := regionParam(s, r)
+	var (
+		buf     bytes.Buffer
+		missing string
+		dotErr  error
+	)
+	err := srv.doSync(s, func() {
+		reg := resolve()
+		if reg == nil {
+			missing = "region " + name
+			return
+		}
+		dotErr = s.rt.WriteDOT(reg, &buf)
+	})
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	if missing != "" {
+		notFound(w, missing)
+		return
+	}
+	if dotErr != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: dotErr.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		_ = err // client went away mid-body
+	}
+}
+
+func (srv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	var (
+		buf     bytes.Buffer
+		ckptErr error
+	)
+	err := srv.doSync(s, func() { ckptErr = s.rt.Checkpoint(&buf) })
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	if ckptErr != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: ckptErr.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		_ = err // client went away mid-body
+	}
+}
+
+// --- observability endpoints --------------------------------------------
+
+// sessionMetricsSnapshot captures a session's registry on its worker —
+// computed metrics read live analyzer state, which only the worker may
+// touch.
+func (srv *Server) sessionMetricsSnapshot(s *session) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	if err := srv.doSync(s, func() { snap = s.metrics.Snapshot() }); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func (srv *Server) handleSessionMetrics(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	snap, err := srv.sessionMetricsSnapshot(s)
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleMetrics merges the server registry with every session's registry
+// (namespaced by session id). A session too busy to snapshot reports
+// "unavailable" rather than stalling the endpoint.
+func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{"server": srv.metrics.Snapshot()}
+	sessions := map[string]any{}
+	for _, s := range srv.sessionList() {
+		if snap, err := srv.sessionMetricsSnapshot(s); err != nil {
+			sessions[s.id] = map[string]string{"unavailable": err.Error()}
+		} else {
+			sessions[s.id] = snap
+		}
+	}
+	out["sessions"] = sessions
+	writeJSON(w, http.StatusOK, out)
+}
+
+type spansBody struct {
+	Spans   []obs.Span `json:"spans"`
+	Dropped int64      `json:"dropped"`
+}
+
+func (s *session) spansSnapshot() spansBody {
+	spans := s.spans.Snapshot()
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	return spansBody{Spans: spans, Dropped: s.spans.Dropped()}
+}
+
+func (srv *Server) handleSessionSpans(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.spansSnapshot())
+}
+
+func (srv *Server) handleDebugSpans(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]spansBody{}
+	for _, s := range srv.sessionList() {
+		out[s.id] = s.spansSnapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions": srv.SessionCount(),
+		"inflight": srv.InFlight(),
+	})
+}

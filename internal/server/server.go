@@ -1,0 +1,320 @@
+// Package server is the network-facing multi-tenant analysis service:
+// each session owns a visibility.Runtime (with its own coherence
+// algorithm, tracing setting, and observability registry) driven by a
+// single worker goroutine, and clients speak the wire format over HTTP.
+//
+// Admission control is two-level and bounded everywhere: a global
+// in-flight job cap protects the process, a per-session queue cap
+// protects the FIFO worker, and both overflows surface as 429 with a
+// Retry-After header rather than unbounded buffering. Sessions expire
+// when idle, close on demand, and drain gracefully on shutdown — the
+// session count returns to zero, taking every worker goroutine with it.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"visibility"
+	"visibility/internal/algo"
+	"visibility/internal/obs"
+	"visibility/internal/wire"
+)
+
+// Config bounds the service. The zero value gets serving defaults.
+type Config struct {
+	// MaxSessions caps concurrently live sessions (default 64).
+	MaxSessions int
+	// MaxQueue caps each session's pending jobs (default 32).
+	MaxQueue int
+	// MaxInFlight caps pending jobs across all sessions (default 256).
+	MaxInFlight int
+	// IdleTimeout expires sessions with no accepted requests for this
+	// long (default 5m; negative disables expiry).
+	IdleTimeout time.Duration
+	// Workers is the per-session runtime worker count (0 = GOMAXPROCS).
+	Workers int
+	// SpanCap is each session's span ring capacity (default 4096).
+	SpanCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 32
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.SpanCap == 0 {
+		c.SpanCap = 4096
+	}
+	return c
+}
+
+// Server is the multi-tenant analysis service. Create with New, mount
+// Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *obs.Registry // server-level: http counters + endpoint latency
+
+	active   *obs.Gauge
+	rejected *obs.Counter
+
+	mu       sync.Mutex
+	sessions map[string]*session // guarded by mu
+	nextID   int                 // guarded by mu
+	inflight int                 // guarded by mu; jobs accepted, not yet run
+	draining bool                // guarded by mu
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New creates a server and starts its idle-session janitor.
+func New(cfg Config) *Server {
+	srv := &Server{
+		cfg:         cfg.withDefaults(),
+		mux:         http.NewServeMux(),
+		metrics:     obs.NewRegistry(),
+		sessions:    make(map[string]*session),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	srv.active = srv.metrics.NewGauge("server/sessions/active")
+	srv.rejected = srv.metrics.NewCounter("server/admission/rejected")
+	srv.routes()
+	go srv.janitor()
+	return srv
+}
+
+// Handler returns the HTTP handler serving the full API.
+func (srv *Server) Handler() http.Handler { return srv.mux }
+
+// Metrics returns the server-level registry (session registries are
+// separate by design).
+func (srv *Server) Metrics() *obs.Registry { return srv.metrics }
+
+// SessionCount returns the number of live sessions.
+func (srv *Server) SessionCount() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+// InFlight returns the number of accepted-but-unfinished jobs.
+func (srv *Server) InFlight() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.inflight
+}
+
+// --- session lifecycle --------------------------------------------------
+
+var errTooManySessions = fmt.Errorf("session limit reached")
+
+// createSession builds a new session. restore, when non-nil, is applied
+// to seed the runtime from a checkpoint before the worker starts.
+func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg visibility.Config) (*visibility.Runtime, *wire.Env, error)) (*session, error) {
+	if algorithm == "" {
+		algorithm = "raycast"
+	}
+	if _, err := algo.Lookup(algorithm); err != nil {
+		return nil, fmt.Errorf("unknown algorithm %q (have %v)", algorithm, algo.Names())
+	}
+	metrics := obs.NewRegistry()
+	spans := obs.NewBuffer(srv.cfg.SpanCap)
+	cfg := visibility.Config{
+		Algorithm: algorithm,
+		Tracing:   tracing,
+		Workers:   srv.cfg.Workers,
+		Metrics:   metrics,
+		Spans:     spans,
+	}
+	rt, env, err := seed(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		rt.Close()
+		return nil, errDraining
+	}
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.mu.Unlock()
+		rt.Close()
+		return nil, errTooManySessions
+	}
+	srv.nextID++
+	id := fmt.Sprintf("s%06d", srv.nextID)
+	s := srv.newSession(id, algorithm, tracing, rt, env, metrics, spans)
+	srv.sessions[id] = s
+	srv.active.Set(int64(len(srv.sessions)))
+	srv.mu.Unlock()
+	return s, nil
+}
+
+// session returns the live session with the given id, or nil.
+func (srv *Server) session(id string) *session {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.sessions[id]
+}
+
+// sessionList returns the live sessions (order unspecified).
+func (srv *Server) sessionList() []*session {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	out := make([]*session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// closeSession removes s from the table and shuts down its worker; when
+// wait is true it blocks until the worker has released the runtime.
+func (srv *Server) closeSession(s *session, wait bool) {
+	if s.beginClose() {
+		srv.mu.Lock()
+		delete(srv.sessions, s.id)
+		srv.active.Set(int64(len(srv.sessions)))
+		srv.mu.Unlock()
+	}
+	if wait {
+		<-s.done
+	}
+}
+
+// --- admission ----------------------------------------------------------
+
+var (
+	errDraining = fmt.Errorf("server is draining")
+	errOverload = fmt.Errorf("server in-flight limit reached")
+)
+
+// admit reserves one global in-flight slot; the caller must release it
+// via jobDone (normally the worker does, after running the job) or
+// unadmit (when the per-session enqueue fails).
+func (srv *Server) admit() error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.draining {
+		return errDraining
+	}
+	if srv.inflight >= srv.cfg.MaxInFlight {
+		return errOverload
+	}
+	srv.inflight++
+	return nil
+}
+
+func (srv *Server) jobDone() {
+	srv.mu.Lock()
+	srv.inflight--
+	srv.mu.Unlock()
+}
+
+func (srv *Server) unadmit() { srv.jobDone() }
+
+// submit admits a job globally, then to the session queue.
+func (srv *Server) submit(s *session, j job) error {
+	if err := srv.admit(); err != nil {
+		srv.rejected.Inc()
+		return err
+	}
+	if err := s.enqueue(j); err != nil {
+		srv.unadmit()
+		if err == errSessionBusy {
+			srv.rejected.Inc()
+		}
+		return err
+	}
+	return nil
+}
+
+// doSync runs fn on the session worker and waits, through full admission.
+func (srv *Server) doSync(s *session, fn func()) error {
+	j := job{fn: fn, done: make(chan struct{})}
+	if err := srv.submit(s, j); err != nil {
+		return err
+	}
+	<-j.done
+	return nil
+}
+
+// --- janitor and shutdown -----------------------------------------------
+
+// janitor expires sessions that have been idle (no accepted requests,
+// empty queue) longer than IdleTimeout.
+func (srv *Server) janitor() {
+	defer close(srv.janitorDone)
+	if srv.cfg.IdleTimeout < 0 {
+		<-srv.janitorStop
+		return
+	}
+	tick := srv.cfg.IdleTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	expired := srv.metrics.NewCounter("server/sessions/expired")
+	for {
+		select {
+		case <-srv.janitorStop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-srv.cfg.IdleTimeout)
+			for _, s := range srv.sessionList() {
+				last, queued := s.idleSince()
+				if queued == 0 && last.Before(cutoff) {
+					srv.closeSession(s, false)
+					expired.Inc()
+				}
+			}
+		}
+	}
+}
+
+// Shutdown drains the service: new sessions and submissions are refused
+// (503), every live session finishes its queued work and releases its
+// runtime, and the janitor stops. After Shutdown the session count is
+// zero and no worker goroutines remain. The context bounds the wait for
+// in-flight work.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	srv.mu.Lock()
+	already := srv.draining
+	srv.draining = true
+	srv.mu.Unlock()
+	if !already {
+		close(srv.janitorStop)
+	}
+	<-srv.janitorDone
+
+	for _, s := range srv.sessionList() {
+		if s.beginClose() {
+			srv.mu.Lock()
+			delete(srv.sessions, s.id)
+			srv.active.Set(int64(len(srv.sessions)))
+			srv.mu.Unlock()
+		}
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"visibility"
+	"visibility/internal/obs"
+	"visibility/internal/wire"
+)
+
+// session owns one tenant's runtime. The Runtime's single-goroutine rule
+// is enforced structurally: every operation that touches rt or env is a
+// job, and all jobs run on the session's one worker goroutine, in FIFO
+// order — so a snapshot requested after a batch observes the batch
+// (read-after-launch coherence), and two tenants never contend.
+type session struct {
+	id        string
+	srv       *Server
+	algorithm string
+	tracing   bool
+	created   time.Time
+
+	// rt and env are touched only by the worker goroutine (and by the
+	// creating goroutine before the worker starts).
+	rt  *visibility.Runtime
+	env *wire.Env
+
+	// metrics and spans are this session's private observability surface;
+	// instrument reads are atomic, but computed metrics (analyzer stats)
+	// are only safe to snapshot from the worker.
+	metrics *obs.Registry
+	spans   *obs.Buffer
+
+	jobs chan job
+	done chan struct{} // closed when the worker exits
+
+	mu       sync.Mutex
+	closing  bool      // guarded by mu
+	failure  error     // guarded by mu; latched first worker failure
+	lastUsed time.Time // guarded by mu
+}
+
+// job is one unit of worker-goroutine work; sync callers wait on done.
+type job struct {
+	fn   func()
+	done chan struct{} // nil for fire-and-forget jobs
+}
+
+var (
+	errSessionBusy    = fmt.Errorf("session queue full")
+	errSessionClosing = fmt.Errorf("session is closing")
+)
+
+// newSession builds a session around an existing runtime and environment
+// (created by the caller; ownership transfers to the worker goroutine the
+// moment run starts).
+func (srv *Server) newSession(id, algorithm string, tracing bool, rt *visibility.Runtime, env *wire.Env, metrics *obs.Registry, spans *obs.Buffer) *session {
+	s := &session{
+		id:        id,
+		srv:       srv,
+		algorithm: algorithm,
+		tracing:   tracing,
+		created:   time.Now(),
+		rt:        rt,
+		env:       env,
+		metrics:   metrics,
+		spans:     spans,
+		jobs:      make(chan job, srv.cfg.MaxQueue),
+		done:      make(chan struct{}),
+		lastUsed:  time.Now(),
+	}
+	go s.run()
+	return s
+}
+
+// run is the worker loop: it drains jobs until the channel closes, then
+// releases the runtime. Every accepted job runs exactly once, even during
+// close, so sync callers never hang.
+func (s *session) run() {
+	defer close(s.done)
+	for j := range s.jobs {
+		s.exec(j.fn)
+		if j.done != nil {
+			close(j.done)
+		}
+		s.srv.jobDone()
+	}
+	s.exec(func() { s.rt.Close() })
+}
+
+// exec runs one job, converting a panic into a latched session failure —
+// one tenant's malformed computation must not take the process down.
+func (s *session) exec(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if s.failure == nil {
+				s.failure = fmt.Errorf("session worker: %v", r)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// enqueue admits one job to the session queue. The closing flag and the
+// send share the mutex with beginClose, so a send can never race the
+// close of the channel.
+func (s *session) enqueue(j job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return errSessionClosing
+	}
+	select {
+	case s.jobs <- j:
+		s.lastUsed = time.Now()
+		return nil
+	default:
+		return errSessionBusy
+	}
+}
+
+// do runs fn on the worker and waits for it — the sync path queries use.
+// The returned error reflects admission only; fn communicates results
+// through its captures.
+func (s *session) do(fn func()) error {
+	j := job{fn: fn, done: make(chan struct{})}
+	if err := s.enqueue(j); err != nil {
+		return err
+	}
+	<-j.done
+	return nil
+}
+
+// beginClose initiates shutdown: exactly one caller closes the channel,
+// under the same mutex enqueue sends under.
+func (s *session) beginClose() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.closing = true
+	close(s.jobs)
+	return true
+}
+
+// latchedFailure returns the first worker failure, if any.
+func (s *session) latchedFailure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failure
+}
+
+// latchFailure records err as the session failure if none is latched yet.
+func (s *session) latchFailure(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure == nil {
+		s.failure = err
+	}
+}
+
+// idleSince reports the last accepted request time and the current queue
+// depth, for the janitor.
+func (s *session) idleSince() (time.Time, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUsed, len(s.jobs)
+}

@@ -1,0 +1,102 @@
+package wire
+
+import "fmt"
+
+// ExampleQuickstart returns the quickstart example as a wire workload:
+// four disjoint block writes, one overlapping window reduction — the
+// minimal program whose dependences the analysis must discover. It is the
+// canonical small payload for smoke tests and the fuzz corpus.
+func ExampleQuickstart() *Workload {
+	wl := &Workload{
+		Version: Version,
+		Name:    "quickstart",
+		Regions: []RegionDecl{{
+			Name:   "cells",
+			Dim:    1,
+			Space:  [][]int64{{0, 99}},
+			Fields: []string{"val"},
+			Partitions: []PartitionDecl{
+				{Name: "blocks", Kind: "equal", Pieces: 4},
+				{Name: "window", Kind: "explicit", Spaces: [][][]int64{{{30, 69}}}},
+			},
+		}},
+	}
+	for i := 0; i < 4; i++ {
+		wl.Tasks = append(wl.Tasks, TaskDecl{
+			Name: fmt.Sprintf("init[%d]", i),
+			Accesses: []AccessDecl{{
+				Region:    fmt.Sprintf("blocks[%d]", i),
+				Field:     "val",
+				Privilege: "write",
+				Kernel:    &FuncSpec{Name: "coord", Args: map[string]float64{"axis": 0}},
+			}},
+		})
+	}
+	wl.Tasks = append(wl.Tasks, TaskDecl{
+		Name: "bump",
+		Accesses: []AccessDecl{{
+			Region:    "window[0]",
+			Field:     "val",
+			Privilege: "reduce",
+			Op:        "sum",
+			Kernel:    &FuncSpec{Name: "fill", Args: map[string]float64{"value": 10}},
+		}},
+	})
+	return wl
+}
+
+// ExampleGraphsim returns the paper's Figure 1 running example as a wire
+// workload: a ring graph in three pieces with an aliased ghost partition
+// derived by dependent partitioning (image under the width-4 neighbor
+// relation, minus the primary), alternating t1/t2 launches that push
+// sum-reductions into neighbor pieces for the given number of iterations.
+func ExampleGraphsim(iterations int) *Workload {
+	const (
+		pieces = 3
+		total  = 18
+	)
+	wl := &Workload{
+		Version: Version,
+		Name:    "graphsim",
+		Regions: []RegionDecl{{
+			Name:   "N",
+			Dim:    1,
+			Space:  [][]int64{{0, total - 1}},
+			Fields: []string{"up", "down"},
+			Init: map[string]*FuncSpec{
+				"up": {Name: "coord", Args: map[string]float64{"axis": 0}},
+			},
+			Partitions: []PartitionDecl{
+				{Name: "P", Kind: "equal", Pieces: pieces},
+				{Name: "reach", Kind: "image", Source: "P",
+					Relation: &FuncSpec{Name: "ring", Args: map[string]float64{"radius": 4, "modulo": total}}},
+				{Name: "G", Kind: "minus", Left: "reach", Right: "P"},
+			},
+		}},
+	}
+	for iter := 0; iter < iterations; iter++ {
+		for i := 0; i < pieces; i++ {
+			wl.Tasks = append(wl.Tasks, TaskDecl{
+				Name: "t1",
+				Accesses: []AccessDecl{
+					{Region: fmt.Sprintf("P[%d]", i), Field: "up", Privilege: "write",
+						Kernel: &FuncSpec{Name: "affine", Args: map[string]float64{"scale": 0.5, "offset": 1}}},
+					{Region: fmt.Sprintf("G[%d]", i), Field: "down", Privilege: "reduce", Op: "sum",
+						Kernel: &FuncSpec{Name: "fill", Args: map[string]float64{"value": 0.25}}},
+				},
+			})
+		}
+		for i := 0; i < pieces; i++ {
+			wl.Tasks = append(wl.Tasks, TaskDecl{
+				Name: "t2",
+				Accesses: []AccessDecl{
+					{Region: fmt.Sprintf("P[%d]", i), Field: "down", Privilege: "write",
+						Kernel: &FuncSpec{Name: "affine", Args: map[string]float64{"scale": 0.5, "offset": 0}}},
+					{Region: fmt.Sprintf("G[%d]", i), Field: "up", Privilege: "reduce", Op: "sum",
+						Kernel: &FuncSpec{Name: "fill", Args: map[string]float64{"value": 0.125}}},
+				},
+			})
+		}
+	}
+	return wl
+}

@@ -1,0 +1,26 @@
+// Command gen regenerates the golden testdata workloads from the
+// canonical example constructors. Run from the repo root:
+//
+//	go run ./internal/wire/gen
+package main
+
+import (
+	"os"
+
+	"visibility/internal/wire"
+)
+
+func main() {
+	write := func(path string, wl *wire.Workload) {
+		f, err := os.Create(path)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		if err := wire.Encode(f, wl); err != nil {
+			panic(err)
+		}
+	}
+	write("internal/wire/testdata/quickstart.json", wire.ExampleQuickstart())
+	write("internal/wire/testdata/graphsim.json", wire.ExampleGraphsim(3))
+}

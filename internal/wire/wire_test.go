@@ -1,0 +1,400 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"visibility"
+	"visibility/internal/wire"
+)
+
+// TestDecodeRejects feeds the decoder every class of malformed input the
+// wire format must screen out: each comes back as an error mentioning the
+// offending construct, never a panic.
+func TestDecodeRejects(t *testing.T) {
+	region := func(tail string) string {
+		return `{"version":1,"regions":[{"name":"r","dim":1,"space":[[0,9]],"fields":["v"]` + tail + `}]}`
+	}
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"not json", `not json`, "decoding workload"},
+		{"unknown top-level field", `{"version":1,"bogus":3}`, "bogus"},
+		{"unknown access field",
+			`{"version":1,"regions":[{"name":"r","dim":1,"space":[[0,9]],"fields":["v"]}],` +
+				`"tasks":[{"name":"t","accesses":[{"region":"r","field":"v","privilege":"read","frob":1}]}]}`,
+			"frob"},
+		{"trailing garbage", `{"version":1}{"version":1}`, "trailing data"},
+		{"wrong version", `{"version":7}`, "unsupported version"},
+		{"empty region name", `{"version":1,"regions":[{"name":"","dim":1,"space":[[0,9]],"fields":["v"]}]}`, "empty name"},
+		{"duplicate region", `{"version":1,"regions":[` +
+			`{"name":"r","dim":1,"space":[[0,9]],"fields":["v"]},` +
+			`{"name":"r","dim":1,"space":[[0,9]],"fields":["v"]}]}`, "duplicate region"},
+		{"dim zero", `{"version":1,"regions":[{"name":"r","dim":0,"space":[[0,9]],"fields":["v"]}]}`, "dimension 0"},
+		{"inverted rect", `{"version":1,"regions":[{"name":"r","dim":1,"space":[[9,0]],"fields":["v"]}]}`, "lo > hi"},
+		{"malformed rect", `{"version":1,"regions":[{"name":"r","dim":2,"space":[[0,9]],"fields":["v"]}]}`, "malformed rect"},
+		{"empty space", `{"version":1,"regions":[{"name":"r","dim":1,"space":[],"fields":["v"]}]}`, "empty index space"},
+		{"no fields", `{"version":1,"regions":[{"name":"r","dim":1,"space":[[0,9]],"fields":[]}]}`, "no fields"},
+		{"duplicate field", `{"version":1,"regions":[{"name":"r","dim":1,"space":[[0,9]],"fields":["v","v"]}]}`, "duplicate field"},
+		{"init unknown field", region(`,"init":{"w":{"name":"fill","args":{"value":1}}}`), "unknown field"},
+		{"init unknown kernel", region(`,"init":{"v":{"name":"nope"}}`), "unknown kernel"},
+		{"kernel bad args", region(`,"init":{"v":{"name":"fill","args":{"value":1,"extra":2}}}`), `unknown argument "extra"`},
+		{"kernel missing args", region(`,"init":{"v":{"name":"fill"}}`), `missing argument "value"`},
+		{"kernel non-integer axis", region(`,"init":{"v":{"name":"coord","args":{"axis":0.5}}}`), "not an integer"},
+		{"partition unknown kind", region(`,"partitions":[{"name":"p","kind":"spiral"}]`), "unknown kind"},
+		{"equal too many pieces", region(`,"partitions":[{"name":"p","kind":"equal","pieces":99}]`), "99 equal pieces"},
+		{"explicit piece escapes", region(`,"partitions":[{"name":"p","kind":"explicit","spaces":[[[0,50]]]}]`), "not a subset"},
+		{"image dangling source", region(`,"partitions":[{"name":"p","kind":"image","source":"q",`+
+			`"relation":{"name":"ring","args":{"radius":1,"modulo":10}}}]`), "unknown partition"},
+		{"image missing relation", region(`,"partitions":[{"name":"q","kind":"equal","pieces":2},`+
+			`{"name":"p","kind":"image","source":"q"}]`), "needs a relation"},
+		{"minus mismatched pieces", region(`,"partitions":[{"name":"a","kind":"equal","pieces":2},`+
+			`{"name":"b","kind":"equal","pieces":5},{"name":"p","kind":"minus","left":"a","right":"b"}]`),
+			"2 and 5 pieces"},
+		{"bycolor missing color", region(`,"partitions":[{"name":"p","kind":"bycolor","pieces":2}]`), "needs a color"},
+		{"task no accesses",
+			`{"version":1,"regions":[{"name":"r","dim":1,"space":[[0,9]],"fields":["v"]}],` +
+				`"tasks":[{"name":"t","accesses":[]}]}`,
+			"at least one access"},
+		{"bad privilege", taskJSON(`{"region":"r","field":"v","privilege":"mutate"}`), "unknown privilege"},
+		{"reduce bad op", taskJSON(`{"region":"r","field":"v","privilege":"reduce","op":"xor"}`), "unknown reduction op"},
+		{"op on write", taskJSON(`{"region":"r","field":"v","privilege":"write","op":"sum"}`), "op on non-reduce"},
+		{"kernel on read", taskJSON(`{"region":"r","field":"v","privilege":"read","kernel":{"name":"identity"}}`), "read access carries a kernel"},
+		{"dangling region ref", taskJSON(`{"region":"nope","field":"v","privilege":"read"}`), "dangling reference"},
+		{"malformed ref", taskJSON(`{"region":"r[","field":"v","privilege":"read"}`), "malformed region reference"},
+		{"piece out of range",
+			`{"version":1,"regions":[{"name":"r","dim":1,"space":[[0,9]],"fields":["v"],` +
+				`"partitions":[{"name":"p","kind":"equal","pieces":2}]}],` +
+				`"tasks":[{"name":"t","accesses":[{"region":"p[7]","field":"v","privilege":"read"}]}]}`,
+			"piece 7 outside"},
+		{"unknown task field ref", taskJSON(`{"region":"r","field":"w","privilege":"read"}`), `no field "w"`},
+		{"after out of range", taskJSON(`{"region":"r","field":"v","privilege":"read"}`, 5), "after index 5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked: %v", r)
+				}
+			}()
+			_, err := wire.Decode(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Decode accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// taskJSON wraps one access JSON in a minimal workload with region r and
+// field v; after, when given, adds the after list.
+func taskJSON(access string, after ...int) string {
+	a := ""
+	if len(after) > 0 {
+		parts := make([]string, len(after))
+		for i, x := range after {
+			parts[i] = fmt.Sprint(x)
+		}
+		a = `,"after":[` + strings.Join(parts, ",") + `]`
+	}
+	return `{"version":1,"regions":[{"name":"r","dim":1,"space":[[0,9]],"fields":["v"]}],` +
+		`"tasks":[{"name":"t","accesses":[` + access + `]` + a + `}]}`
+}
+
+// TestGolden pins the canonical example workloads to their testdata
+// encodings byte for byte: the constructors, the encoder, and the corpus
+// files move together or the test fails. Regenerate with
+// `go run ./internal/wire/gen`.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		file string
+		wl   *wire.Workload
+	}{
+		{"quickstart.json", wire.ExampleQuickstart()},
+		{"graphsim.json", wire.ExampleGraphsim(3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := wire.Encode(&got, tc.wl); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("encoding of %s drifted from testdata (run `go run ./internal/wire/gen`)", tc.file)
+			}
+			// decode → encode is a fixed point.
+			decoded, err := wire.Decode(bytes.NewReader(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var again bytes.Buffer
+			if err := wire.Encode(&again, decoded); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again.Bytes(), want) {
+				t.Fatal("decode→encode is not a fixed point")
+			}
+		})
+	}
+}
+
+// TestApplyQuickstart replays the quickstart workload through an Env and
+// checks the same invariants the hand-coded example asserts.
+func TestApplyQuickstart(t *testing.T) {
+	rt := visibility.New(visibility.Config{Validate: true})
+	defer rt.Close()
+	env := wire.NewEnv(rt)
+	futs, err := env.Apply(wire.ExampleQuickstart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(futs) != 5 {
+		t.Fatalf("launched %d tasks, want 5", len(futs))
+	}
+	cells := env.Region("cells")
+	if cells == nil {
+		t.Fatal("workload did not declare cells")
+	}
+	snap := rt.Read(cells, "val")
+	var sum float64
+	snap.Each(func(_ visibility.Point, v float64) { sum += v })
+	if want := float64(99*100/2 + 40*10); sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+}
+
+// TestApplyGraphsimMatchesHandCoded replays the Figure 1 workload through
+// the wire layer and requires point-identical results to the hand-coded
+// program from the graphsim example: the wire format is a faithful
+// encoding, not an approximation.
+func TestApplyGraphsimMatchesHandCoded(t *testing.T) {
+	const iterations = 3
+	// Wire path.
+	rtW := visibility.New(visibility.Config{Validate: true})
+	defer rtW.Close()
+	env := wire.NewEnv(rtW)
+	if _, err := env.Apply(wire.ExampleGraphsim(iterations)); err != nil {
+		t.Fatal(err)
+	}
+	graphW := env.Region("N")
+
+	// Hand-coded path, as in examples/graphsim.
+	rtH := visibility.New(visibility.Config{Validate: true})
+	defer rtH.Close()
+	graphH := rtH.CreateRegion("N", visibility.Line(0, 17), "up", "down")
+	graphH.Init("up", func(p visibility.Point) float64 { return float64(p.C[0]) })
+	primary := graphH.PartitionEqual("P", 3)
+	neighbors := func(p visibility.Point) []visibility.Point {
+		var out []visibility.Point
+		for d := int64(1); d <= 4; d++ {
+			out = append(out, visibility.Pt((p.C[0]-d+18)%18), visibility.Pt((p.C[0]+d)%18))
+		}
+		return out
+	}
+	ghost := graphH.PartitionImage("reach", primary, neighbors).Minus("G", primary)
+	for iter := 0; iter < iterations; iter++ {
+		for i := 0; i < 3; i++ {
+			rtH.Launch(visibility.TaskSpec{
+				Name: "t1",
+				Accesses: []visibility.Access{
+					visibility.Write(primary.Sub(i), "up"),
+					visibility.Reduce(visibility.OpSum, ghost.Sub(i), "down"),
+				},
+				Kernel: visibility.Kernel{
+					Write:  func(_ int, _ visibility.Point, in float64) float64 { return in*0.5 + 1 },
+					Reduce: func(int, visibility.Point) float64 { return 0.25 },
+				},
+			})
+		}
+		for i := 0; i < 3; i++ {
+			rtH.Launch(visibility.TaskSpec{
+				Name: "t2",
+				Accesses: []visibility.Access{
+					visibility.Write(primary.Sub(i), "down"),
+					visibility.Reduce(visibility.OpSum, ghost.Sub(i), "up"),
+				},
+				Kernel: visibility.Kernel{
+					Write:  func(_ int, _ visibility.Point, in float64) float64 { return in * 0.5 },
+					Reduce: func(int, visibility.Point) float64 { return 0.125 },
+				},
+			})
+		}
+	}
+
+	for _, f := range []string{"up", "down"} {
+		w, h := rtW.Read(graphW, f), rtH.Read(graphH, f)
+		if w.Len() != h.Len() {
+			t.Fatalf("field %s: %d vs %d points", f, w.Len(), h.Len())
+		}
+		h.Each(func(p visibility.Point, want float64) {
+			if got, ok := w.Get(p); !ok || got != want {
+				t.Fatalf("field %s at %v: wire %v, hand-coded %v", f, p, got, want)
+			}
+		})
+	}
+}
+
+// TestApplyBatchAgainstSession exercises the batch path: a second
+// workload with no region declarations resolves against state the first
+// one declared, and bad batches launch nothing.
+func TestApplyBatchAgainstSession(t *testing.T) {
+	rt := visibility.New(visibility.Config{})
+	defer rt.Close()
+	env := wire.NewEnv(rt)
+	if _, err := env.Apply(wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := &wire.Workload{
+		Version: wire.Version,
+		Tasks: []wire.TaskDecl{{
+			Name: "bump2",
+			Accesses: []wire.AccessDecl{{
+				Region: "window[0]", Field: "val", Privilege: "reduce", Op: "sum",
+				Kernel: &wire.FuncSpec{Name: "fill", Args: map[string]float64{"value": 1}},
+			}},
+		}},
+	}
+	if _, err := env.Apply(batch); err != nil {
+		t.Fatalf("batch against session state: %v", err)
+	}
+
+	bad := &wire.Workload{
+		Version: wire.Version,
+		Tasks: []wire.TaskDecl{
+			{Name: "ok", Accesses: []wire.AccessDecl{{Region: "cells", Field: "val", Privilege: "read"}}},
+			{Name: "bad", Accesses: []wire.AccessDecl{{Region: "ghosts[0]", Field: "val", Privilege: "read"}}},
+		},
+	}
+	if _, err := env.Apply(bad); err == nil || !strings.Contains(err.Error(), "dangling reference") {
+		t.Fatalf("bad batch error = %v, want dangling reference", err)
+	}
+	// The rejected batch launched nothing: the sum reflects exactly the
+	// quickstart result plus the one extra reduction.
+	snap := rt.Read(env.Region("cells"), "val")
+	var sum float64
+	snap.Each(func(_ visibility.Point, v float64) { sum += v })
+	if want := float64(99*100/2+40*10) + 40; sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+
+	// A redeclaration of an existing name is rejected before declaring.
+	if _, err := env.Apply(wire.ExampleQuickstart()); err == nil || !strings.Contains(err.Error(), "already declared") {
+		t.Fatalf("redeclaration error = %v, want already declared", err)
+	}
+}
+
+// TestApplyAfterFutures checks the After edges turn into future
+// dependences: a chain of reductions ordered only by After must fold in
+// program order (sum is order-independent, so order via write-read).
+func TestApplyAfterFutures(t *testing.T) {
+	rt := visibility.New(visibility.Config{Validate: true})
+	defer rt.Close()
+	env := wire.NewEnv(rt)
+	wl := &wire.Workload{
+		Version: wire.Version,
+		Regions: []wire.RegionDecl{{
+			Name: "r", Dim: 1, Space: [][]int64{{0, 3}}, Fields: []string{"v"},
+		}},
+		Tasks: []wire.TaskDecl{
+			{Name: "a", Accesses: []wire.AccessDecl{{Region: "r", Field: "v", Privilege: "write",
+				Kernel: &wire.FuncSpec{Name: "fill", Args: map[string]float64{"value": 2}}}}},
+			{Name: "b", After: []int{0}, Accesses: []wire.AccessDecl{{Region: "r", Field: "v", Privilege: "write",
+				Kernel: &wire.FuncSpec{Name: "affine", Args: map[string]float64{"scale": 3, "offset": 1}}}}},
+		},
+	}
+	futs, err := env.Apply(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		f.Wait()
+	}
+	if v, _ := rt.Read(env.Region("r"), "v").Get(visibility.Pt(0)); v != 7 {
+		t.Fatalf("v = %v, want 7 (= 2*3+1 in program order)", v)
+	}
+	// After edges appear in the dependence graph.
+	deps := rt.Dependences(env.Region("r"))
+	if len(deps) < 2 || len(deps[1].Deps) == 0 {
+		t.Fatalf("dependences = %+v, want task 1 to depend on task 0", deps)
+	}
+}
+
+// TestEnvFromRestore round-trips a session through a checkpoint and keeps
+// serving wire batches against the restored regions.
+func TestEnvFromRestore(t *testing.T) {
+	rt := visibility.New(visibility.Config{})
+	defer rt.Close()
+	env := wire.NewEnv(rt)
+	if _, err := env.Apply(wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rt.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, roots, err := visibility.Restore(&buf, visibility.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	env2, err := wire.EnvFromRestore(rt2, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &wire.Workload{
+		Version: wire.Version,
+		Tasks: []wire.TaskDecl{{
+			Name: "post-restore",
+			Accesses: []wire.AccessDecl{{Region: "blocks[0]", Field: "val", Privilege: "write",
+				Kernel: &wire.FuncSpec{Name: "affine", Args: map[string]float64{"scale": 1, "offset": 1}}}},
+		}},
+	}
+	if _, err := env2.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rt2.Read(env2.Region("cells"), "val").Get(visibility.Pt(5)); v != 6 {
+		t.Fatalf("restored cells[5]+1 = %v, want 6", v)
+	}
+}
+
+// TestRegistryNames pins the built-in registry contents (additions are
+// fine — removals break workload files in the wild).
+func TestRegistryNames(t *testing.T) {
+	has := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, k := range []string{"identity", "fill", "affine", "coord"} {
+		if !has(wire.KernelNames(), k) {
+			t.Errorf("kernel %q missing from registry %v", k, wire.KernelNames())
+		}
+	}
+	for _, r := range []string{"ring", "window"} {
+		if !has(wire.RelationNames(), r) {
+			t.Errorf("relation %q missing from registry %v", r, wire.RelationNames())
+		}
+	}
+	for _, c := range []string{"mod", "block"} {
+		if !has(wire.ColorNames(), c) {
+			t.Errorf("color %q missing from registry %v", c, wire.ColorNames())
+		}
+	}
+}

@@ -35,7 +35,9 @@ package visibility
 
 import (
 	"fmt"
+	"io"
 	"runtime"
+	"sort"
 
 	"visibility/internal/algo"
 	"visibility/internal/core"
@@ -44,7 +46,9 @@ import (
 	"visibility/internal/event"
 	"visibility/internal/field"
 	"visibility/internal/geometry"
+	"visibility/internal/graph"
 	"visibility/internal/index"
+	"visibility/internal/obs"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 	"visibility/internal/sched"
@@ -127,6 +131,18 @@ type Config struct {
 	// BeginTrace/EndTrace are analyzed once and replayed afterwards,
 	// eliminating the per-launch analysis cost of steady-state loops.
 	Tracing bool
+	// Metrics, when non-nil, is the registry every component of this
+	// runtime publishes into: analyzer operation counters appear under
+	// "analyzer/<root-region-name>/", scheduler cache counters under
+	// "sched/cache/", tracing outcomes under "trace/". Nil keeps the
+	// pre-existing behavior of private per-component registries. The
+	// serving layer passes one registry per session so sessions stay
+	// observably disjoint.
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives begin/end records for the phases of
+	// each per-launch analysis (and trace record/replay/invalidate
+	// events). Nil disables span recording at zero cost.
+	Spans *obs.Buffer
 }
 
 // Runtime is an implicitly parallel runtime instance. Create regions and
@@ -134,8 +150,9 @@ type Config struct {
 // initial region contents. A Runtime's methods must be called from a
 // single goroutine (task kernels themselves run in parallel).
 type Runtime struct {
-	cfg     Config
-	regions []*Region
+	cfg        Config
+	regions    []*Region
+	registered map[string]bool // computed-metric prefixes claimed on cfg.Metrics
 }
 
 // New creates a runtime.
@@ -149,7 +166,7 @@ func New(cfg Config) *Runtime {
 	if _, err := algo.Lookup(cfg.Algorithm); err != nil {
 		panic(fmt.Sprintf("visibility: %v", err))
 	}
-	return &Runtime{cfg: cfg}
+	return &Runtime{cfg: cfg, registered: make(map[string]bool)}
 }
 
 // Region is a logical region: an index space with named fields, possibly a
@@ -219,6 +236,26 @@ func (r *Region) Space() IndexSpace { return r.reg.Space }
 
 // Name returns the region's name.
 func (r *Region) Name() string { return r.reg.Name }
+
+// Fields returns the field names of r's tree, sorted.
+func (r *Region) Fields() []string {
+	names := make([]string, 0, len(r.tree.fields))
+	for name := range r.tree.fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasField reports whether r's tree declares the named field.
+func (r *Region) HasField(name string) bool {
+	_, ok := r.tree.fields[name]
+	return ok
+}
+
+// SameTree reports whether r and o belong to the same region tree — the
+// precondition Launch enforces across a task's accesses.
+func (r *Region) SameTree(o *Region) bool { return o != nil && r.tree == o.tree }
 
 // Fill sets every element of a field of this region's points to v. Only
 // valid before the first task launch on the region's tree.
@@ -509,14 +546,26 @@ func (rt *Runtime) freeze(ts *treeState) {
 		return
 	}
 	ts.frozen = true
+	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans}
 	newAn, _ := algo.Lookup(rt.cfg.Algorithm)
-	an := newAn(ts.tree, core.Options{})
+	an := newAn(ts.tree, opts)
+	if rt.cfg.Metrics != nil {
+		// Computed metrics are read live at snapshot time; per-tree
+		// prefixes keep multi-tree runtimes from colliding. A second root
+		// with the same name would collide, so it keeps its counters
+		// private rather than panicking mid-launch.
+		name := "analyzer/" + ts.tree.Root.Name
+		if !rt.registered[name] {
+			rt.registered[name] = true
+			an.Stats().RegisterMetrics(rt.cfg.Metrics, name)
+		}
+	}
 	if rt.cfg.Tracing {
-		ts.tracer = trace.New(an, core.Options{})
+		ts.tracer = trace.New(an, opts)
 		an = ts.tracer
 	}
 	ts.stream = core.NewStream(ts.tree)
-	ts.exec = sched.NewExecutor(ts.tree, an, ts.init, rt.cfg.Workers)
+	ts.exec = sched.NewExecutorMetrics(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics)
 	if rt.cfg.Validate {
 		ts.seq = core.NewSeq(ts.tree, ts.init)
 	}
@@ -618,4 +667,42 @@ func (rt *Runtime) Stats(r *Region) core.Stats {
 		return core.Stats{}
 	}
 	return *r.tree.exec.Analyzer().Stats()
+}
+
+// TaskInfo describes one analyzed task launch: its dense ID, name, and the
+// direct predecessors the dynamic analysis discovered (analyzer-reported
+// region dependences merged with explicit future edges, deduplicated and
+// ascending).
+type TaskInfo struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Deps []int  `json:"deps"`
+}
+
+// Dependences returns the dependence graph discovered so far for the tree
+// containing r, one entry per launch in program order. It must be called
+// from the launching goroutine, like every other Runtime method; nil when
+// nothing has launched.
+func (rt *Runtime) Dependences(r *Region) []TaskInfo {
+	ts := r.tree
+	if ts.exec == nil {
+		return nil
+	}
+	deps := ts.exec.Deps()
+	out := make([]TaskInfo, 0, len(ts.stream.Tasks))
+	for _, t := range ts.stream.Tasks {
+		merged := append(append([]int{}, deps[t.ID]...), t.FutureDeps...)
+		out = append(out, TaskInfo{ID: t.ID, Name: t.Name, Deps: core.DedupDeps(merged)})
+	}
+	return out
+}
+
+// WriteDOT renders the discovered dependence graph of the tree containing
+// r in Graphviz format.
+func (rt *Runtime) WriteDOT(r *Region, w io.Writer) error {
+	ts := r.tree
+	if ts.exec == nil {
+		return graph.FromStream(nil, nil).WriteDOT(w)
+	}
+	return graph.FromStream(ts.stream.Tasks, ts.exec.Deps()).WriteDOT(w)
 }
