@@ -52,6 +52,10 @@ func run(args []string, stdout io.Writer) error {
 	load := fs.Int("load", 0, "run the load harness with N concurrent sessions instead of serving")
 	iterations := fs.Int("iterations", 5, "graphsim iterations per load-mode session")
 	target := fs.String("target", "", "load-mode server URL (default: start one in-process)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	recorderCap := fs.Int("recorder-cap", 0, "flight-recorder ring capacity (0 = server default)")
+	recorderDump := fs.String("recorder-dump", "", "directory for worker-failure recorder dumps (empty disables; SIGQUIT dumps fall back to the system temp dir)")
+	traceOut := fs.String("trace-out", "", "load mode: write the merged Perfetto trace export to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,20 +64,45 @@ func run(args []string, stdout io.Writer) error {
 		MaxQueue:    *maxQueue,
 		MaxInFlight: *maxInFlight,
 		IdleTimeout: *idle,
+		RecorderCap: *recorderCap,
+		RecorderDir: *recorderDump,
+		EnablePprof: *enablePprof,
 	}
 	if *load > 0 {
-		return runLoad(stdout, cfg, *target, *load, *iterations)
+		return runLoad(stdout, cfg, *target, *load, *iterations, *traceOut)
 	}
-	return serve(stdout, cfg, *addr)
+	return serve(stdout, cfg, *addr, *recorderDump)
 }
 
-// serve runs the service until SIGTERM/SIGINT, then drains.
-func serve(stdout io.Writer, cfg server.Config, addr string) error {
+// serve runs the service until SIGTERM/SIGINT, then drains. SIGQUIT is
+// the flight-recorder escape hatch: each one dumps the recorder window
+// to disk (dumpDir, or the system temp dir when unset) without stopping
+// the server, so a live incident can be captured in passing.
+func serve(stdout io.Writer, cfg server.Config, addr, dumpDir string) error {
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+
+	// Register before announcing the address: once a caller can see the
+	// server it may signal it, and an unhandled SIGQUIT kills the process.
+	if dumpDir == "" {
+		dumpDir = os.TempDir()
+	}
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			path, err := srv.DumpRecorder(dumpDir)
+			if err != nil {
+				say(stdout, "recorder dump failed: %v\n", err)
+				continue
+			}
+			say(stdout, "recorder dump written to %s\n", path)
+		}
+	}()
 	say(stdout, "visserve listening on http://%s\n", ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
@@ -103,8 +132,10 @@ func serve(stdout io.Writer, cfg server.Config, addr string) error {
 }
 
 // runLoad drives n concurrent sessions through the graphsim workload and
-// checks cross-tenant determinism.
-func runLoad(stdout io.Writer, cfg server.Config, target string, n, iterations int) error {
+// checks cross-tenant determinism. With traceOut set it downloads the
+// merged Perfetto trace export before closing the sessions — span rings
+// die with their sessions, so the order matters.
+func runLoad(stdout io.Writer, cfg server.Config, target string, n, iterations int, traceOut string) error {
 	if target == "" {
 		srv := server.New(cfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -141,6 +172,7 @@ func runLoad(stdout io.Writer, cfg server.Config, target string, n, iterations i
 		err error
 	}
 	results := make([]result, n)
+	sessions := make([]*client.Session, n)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -153,11 +185,7 @@ func runLoad(stdout io.Writer, cfg server.Config, target string, n, iterations i
 				res.err = err
 				return
 			}
-			defer func() {
-				if err := sess.Close(); err != nil && res.err == nil {
-					res.err = err
-				}
-			}()
+			sessions[i] = sess
 			if res.err = sess.Submit(wl); res.err != nil {
 				return
 			}
@@ -173,6 +201,25 @@ func runLoad(stdout io.Writer, cfg server.Config, target string, n, iterations i
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	if traceOut != "" {
+		data, err := c.DebugTrace()
+		if err != nil {
+			return fmt.Errorf("fetching trace export: %w", err)
+		}
+		if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+			return fmt.Errorf("writing trace export: %w", err)
+		}
+		say(stdout, "trace export (%d bytes) written to %s\n", len(data), traceOut)
+	}
+	for i, sess := range sessions {
+		if sess == nil {
+			continue
+		}
+		if err := sess.Close(); err != nil && results[i].err == nil {
+			results[i].err = err
+		}
+	}
 
 	for i, res := range results {
 		if res.err != nil {

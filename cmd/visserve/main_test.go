@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -11,6 +14,7 @@ import (
 	"time"
 
 	"visibility"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/server/client"
 	"visibility/internal/wire"
 )
@@ -120,5 +124,112 @@ func TestLoadMode(t *testing.T) {
 	// 2 iterations × (3 t1 + 3 t2) tasks per session.
 	if !strings.Contains(s, fmt.Sprintf("tasks/session=%d", 12)) {
 		t.Fatalf("unexpected task count in summary: %q", s)
+	}
+}
+
+// TestLoadModeTraceOut runs the harness with -trace-out and checks the
+// exported file is a Perfetto-loadable trace whose HTTP spans have
+// analysis children — the fetch must happen before the sessions close,
+// or their span rings are gone.
+func TestLoadModeTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.trace.json")
+	var out syncBuffer
+	if err := run([]string{"-load", "2", "-iterations", "1", "-trace-out", path}, &out); err != nil {
+		t.Fatalf("load mode failed: %v\noutput: %s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	httpSpans := map[string]bool{} // span id of each http.workloads span
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "http.workloads" && ev.Args["span"] != "" {
+			httpSpans[ev.Args["span"]] = false
+		}
+	}
+	if len(httpSpans) == 0 {
+		t.Fatal("trace export has no http.workloads spans")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat == "analysis" {
+			if _, ok := httpSpans[ev.Args["parent"]]; ok {
+				httpSpans[ev.Args["parent"]] = true
+			}
+		}
+	}
+	for span, hasChild := range httpSpans {
+		if !hasChild {
+			t.Errorf("http.workloads span %s has no analysis children", span)
+		}
+	}
+}
+
+// TestServeSIGQUITDump serves on an ephemeral port, delivers SIGQUIT,
+// and checks the flight recorder lands on disk as a parseable dump —
+// without the signal taking the server down.
+func TestServeSIGQUITDump(t *testing.T) {
+	dir := t.TempDir()
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-recorder-dump", dir}, &out)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "listening on ") {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	var dumpPath string
+	for dumpPath == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no recorder dump after SIGQUIT; output: %q", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "recorder dump written to ") {
+			line := s[strings.Index(s, "recorder dump written to ")+len("recorder dump written to "):]
+			dumpPath = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	f, err := os.Open(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = recorder.ReadDump(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("SIGQUIT dump does not parse: %v", err)
+	}
+
+	// The server is still alive and drains normally.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain after SIGTERM")
 	}
 }

@@ -1,0 +1,264 @@
+// Command vistop is a live terminal dashboard for a running visserve
+// instance. Each frame it polls /metrics, /v1/sessions, and /debug/spans
+// and renders three tables: per-endpoint HTTP traffic with latency
+// quantiles, per-session throughput and cache behavior, and the hottest
+// analysis phases by span time (where analysis wall-clock actually
+// goes). By default it redraws in place every two seconds; -plain
+// appends frames instead (for logs and pipes), and -frames bounds the
+// run for scripting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"visibility/internal/server/client"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vistop:", err)
+		os.Exit(1)
+	}
+}
+
+// say writes dashboard output; a broken pipe mid-frame is not actionable
+// beyond the next frame failing too, so the error is dropped here, in
+// exactly one place.
+func say(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("vistop", flag.ContinueOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "visserve URL to watch")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	frames := fs.Int("frames", 0, "frames to render before exiting (0 = run until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing the screen")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := client.New(*target)
+	var prev *sample
+	for frame := 0; *frames == 0 || frame < *frames; frame++ {
+		if frame > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := fetchSample(c)
+		if err != nil {
+			if prev == nil {
+				return err // can't reach the server at all
+			}
+			say(stdout, "vistop: fetch: %v\n", err)
+			continue
+		}
+		render(stdout, *target, prev, cur, *plain)
+		prev = cur
+	}
+	return nil
+}
+
+// sample is one poll of the server's observability surface.
+type sample struct {
+	at       time.Time
+	server   map[string]int64            // server-level registry
+	sessions map[string]map[string]int64 // per-session registries by id
+	infos    []client.SessionInfo
+	spans    map[string]client.SpanWindow
+}
+
+// fetchSample polls the three endpoints a frame is rendered from.
+func fetchSample(c *client.Client) (*sample, error) {
+	raw, err := c.Metrics()
+	if err != nil {
+		return nil, err
+	}
+	smp := &sample{at: time.Now(), sessions: map[string]map[string]int64{}}
+	if err := json.Unmarshal(raw["server"], &smp.server); err != nil {
+		return nil, fmt.Errorf("decoding server metrics: %w", err)
+	}
+	var perSession map[string]json.RawMessage
+	if err := json.Unmarshal(raw["sessions"], &perSession); err != nil {
+		return nil, fmt.Errorf("decoding session metrics: %w", err)
+	}
+	for id, body := range perSession {
+		var m map[string]int64
+		// A session too busy to snapshot reports a string body; skip it for
+		// this frame rather than failing the whole poll.
+		if err := json.Unmarshal(body, &m); err == nil {
+			smp.sessions[id] = m
+		}
+	}
+	if smp.infos, err = c.Sessions(); err != nil {
+		return nil, err
+	}
+	if smp.spans, err = c.DebugSpans(); err != nil {
+		return nil, err
+	}
+	return smp, nil
+}
+
+// rate converts a counter delta between two samples into a per-second
+// rate (0 on the first frame, when there is no previous sample).
+func rate(cur, prev int64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return float64(cur-prev) / dt.Seconds()
+}
+
+// launches sums every analyzer launch counter in one session's registry
+// (the counter lives under the algorithm's own prefix).
+func launches(m map[string]int64) int64 {
+	var n int64
+	for k, v := range m {
+		if strings.HasSuffix(k, "/launches") {
+			n += v
+		}
+	}
+	return n
+}
+
+// render draws one frame.
+func render(w io.Writer, target string, prev, cur *sample, plain bool) {
+	if !plain {
+		say(w, "\x1b[2J\x1b[H") // clear screen, home cursor
+	}
+	dt := time.Duration(0)
+	if prev != nil {
+		dt = cur.at.Sub(prev.at)
+	}
+	say(w, "vistop · %s · %s · %d sessions\n\n", target, cur.at.Format("15:04:05"), len(cur.infos))
+	renderHTTP(w, prev, cur, dt)
+	renderSessions(w, prev, cur, dt)
+	renderHotSpots(w, cur)
+}
+
+// renderHTTP tabulates per-endpoint request counts, rates, and latency
+// quantiles from the server registry.
+func renderHTTP(w io.Writer, prev, cur *sample, dt time.Duration) {
+	type row struct {
+		name          string
+		reqs          int64
+		rps           float64
+		p50, p95, p99 int64
+	}
+	var rows []row
+	for k, v := range cur.server {
+		name, ok := strings.CutPrefix(k, "server/http/")
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, "/requests")
+		if !ok || v == 0 {
+			continue
+		}
+		r := row{
+			name: name,
+			reqs: v,
+			p50:  cur.server["server/http/"+name+"/latency_us/p50"],
+			p95:  cur.server["server/http/"+name+"/latency_us/p95"],
+			p99:  cur.server["server/http/"+name+"/latency_us/p99"],
+		}
+		if prev != nil {
+			r.rps = rate(v, prev.server[k], dt)
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].reqs != rows[j].reqs {
+			return rows[i].reqs > rows[j].reqs
+		}
+		return rows[i].name < rows[j].name
+	})
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	say(tw, "ENDPOINT\tREQS\tREQ/S\tP50µs\tP95µs\tP99µs\n")
+	for _, r := range rows {
+		say(tw, "%s\t%d\t%.1f\t%d\t%d\t%d\n", r.name, r.reqs, r.rps, r.p50, r.p95, r.p99)
+	}
+	_ = tw.Flush()
+	say(w, "\n")
+}
+
+// renderSessions tabulates per-tenant queue depth, analysis throughput,
+// and materialization cache behavior.
+func renderSessions(w io.Writer, prev, cur *sample, dt time.Duration) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	say(tw, "SESSION\tALGO\tQUEUED\tLAUNCHES\tLAUNCH/S\tCACHE%%\tSTATE\n")
+	for _, info := range cur.infos {
+		m := cur.sessions[info.ID]
+		n := launches(m)
+		var lps float64
+		if prev != nil {
+			lps = rate(n, launches(prev.sessions[info.ID]), dt)
+		}
+		hits, misses := m["sched/cache/hits"], m["sched/cache/misses"]
+		cache := "-"
+		if hits+misses > 0 {
+			cache = fmt.Sprintf("%.0f", 100*float64(hits)/float64(hits+misses))
+		}
+		state := "ok"
+		if info.Failed != "" {
+			state = "FAILED"
+		}
+		say(tw, "%s\t%s\t%d\t%d\t%.1f\t%s\t%s\n", info.ID, info.Algorithm, info.Queued, n, lps, cache, state)
+	}
+	_ = tw.Flush()
+	say(w, "\n")
+}
+
+// renderHotSpots aggregates every session's analysis spans by phase name
+// and shows where span time is going — the server-side answer to "what
+// is the analysis actually spending its time on".
+func renderHotSpots(w io.Writer, cur *sample) {
+	type spot struct {
+		name  string
+		count int64
+		total int64 // ns
+	}
+	agg := map[string]*spot{}
+	var grand int64
+	for _, win := range cur.spans {
+		for _, sp := range win.Spans {
+			if sp.Cat != "analysis" {
+				continue
+			}
+			s := agg[sp.Name]
+			if s == nil {
+				s = &spot{name: sp.Name}
+				agg[sp.Name] = s
+			}
+			d := sp.End - sp.Start
+			s.count++
+			s.total += d
+			grand += d
+		}
+	}
+	spots := make([]*spot, 0, len(agg))
+	for _, s := range agg {
+		spots = append(spots, s)
+	}
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].total != spots[j].total {
+			return spots[i].total > spots[j].total
+		}
+		return spots[i].name < spots[j].name
+	})
+	if len(spots) > 10 {
+		spots = spots[:10]
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	say(tw, "HOT SPOT\tCOUNT\tTOTAL ms\tSHARE\n")
+	for _, s := range spots {
+		say(tw, "%s\t%d\t%.3f\t%.0f%%\n",
+			s.name, s.count, float64(s.total)/1e6, 100*float64(s.total)/float64(grand))
+	}
+	_ = tw.Flush()
+}

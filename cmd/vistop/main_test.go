@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"visibility/internal/server"
+	"visibility/internal/server/client"
+	"visibility/internal/wire"
+)
+
+func TestRate(t *testing.T) {
+	if got := rate(30, 10, 2*time.Second); got != 10 {
+		t.Errorf("rate(30, 10, 2s) = %v, want 10", got)
+	}
+	if got := rate(5, 0, 0); got != 0 {
+		t.Errorf("rate with zero dt = %v, want 0", got)
+	}
+}
+
+func TestLaunches(t *testing.T) {
+	m := map[string]int64{
+		"raycast/launches":  7,
+		"analyzer/launches": 3,
+		"sched/cache/hits":  99,
+	}
+	if got := launches(m); got != 10 {
+		t.Errorf("launches = %d, want 10", got)
+	}
+	if got := launches(nil); got != 0 {
+		t.Errorf("launches(nil) = %d, want 0", got)
+	}
+}
+
+// TestDashboardAgainstLiveServer renders two frames against a real
+// server with one active session and checks every table is populated:
+// the endpoint rows, the session row with its launch count, and the
+// analysis hot spots aggregated from the session's spans.
+func TestDashboardAgainstLiveServer(t *testing.T) {
+	srv := server.New(server.Config{IdleTimeout: -1})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(t.Context()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	c := client.New(hs.URL)
+	sess, err := c.CreateSession(client.SessionConfig{Algorithm: "warnock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(wire.ExampleGraphsim(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Snapshot("N", "up"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	err = run([]string{"-target", hs.URL, "-frames", "2", "-interval", "10ms", "-plain"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ENDPOINT", "workloads", "snapshot", // HTTP table rows
+		"SESSION", sess.ID, "warnock", // session table row
+		"HOT SPOT", // analysis-phase attribution
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard output missing %q:\n%s", want, out)
+		}
+	}
+	// -plain renders frames without ANSI escapes.
+	if strings.Contains(out, "\x1b[") {
+		t.Error("-plain output contains ANSI escape sequences")
+	}
+	if n := strings.Count(out, "vistop · "); n != 2 {
+		t.Errorf("rendered %d frame headers, want 2", n)
+	}
+
+	// The default mode clears the screen between frames.
+	buf.Reset()
+	if err := run([]string{"-target", hs.URL, "-frames", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "\x1b[2J\x1b[H") {
+		t.Error("default mode does not clear the screen before a frame")
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnreachableTarget pins the failure mode: a dashboard that can't
+// reach its server on the first frame exits with the fetch error.
+func TestUnreachableTarget(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-target", "http://127.0.0.1:1", "-frames", "1"}, &buf)
+	if err == nil {
+		t.Fatal("run against an unreachable target succeeded")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"visibility/internal/field"
 	"visibility/internal/index"
 	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 )
@@ -225,6 +226,10 @@ type Options struct {
 	// analysis. Nil (the default) disables span recording; every
 	// instrumentation site is nil-safe.
 	Spans *obs.Buffer
+	// Recorder is the flight-recorder ring that journals coarse runtime
+	// events (task launches, equivalence-set splits/coalesces, cache
+	// outcomes). Nil disables journaling; every site is nil-safe.
+	Recorder *recorder.Recorder
 }
 
 // Normalize fills in defaults for nil fields (Spans stays nil: a nil

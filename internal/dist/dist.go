@@ -21,6 +21,7 @@ import (
 	"visibility/internal/geometry"
 	"visibility/internal/index"
 	"visibility/internal/obs"
+	flightrec "visibility/internal/obs/recorder"
 	"visibility/internal/region"
 )
 
@@ -54,6 +55,9 @@ type Config struct {
 	// Spans, when non-nil, receives wall-clock begin/end records for the
 	// phases of each per-launch analysis.
 	Spans *obs.Buffer
+	// Recorder, when non-nil, journals coarse analyzer events (set
+	// splits/coalesces) into the flight-recorder ring.
+	Recorder *flightrec.Recorder
 }
 
 // DefaultConfig returns cost-model constants calibrated so that a
@@ -160,7 +164,7 @@ func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, own
 		owner:        owner,
 		lastAnalysis: make(map[int]cluster.Ref),
 	}
-	opts := core.Options{Probe: d.probe, Owner: owner, Metrics: cfg.Metrics, Spans: cfg.Spans}.Normalize()
+	opts := core.Options{Probe: d.probe, Owner: owner, Metrics: cfg.Metrics, Spans: cfg.Spans, Recorder: cfg.Recorder}.Normalize()
 	d.metrics = opts.Metrics
 	d.localOps = d.metrics.NewHistogram("dist/launch_local_ops", 4, 16, 64, 256, 1024, 4096)
 	d.remotes = d.metrics.NewCounter("dist/remote_roundtrips")

@@ -23,6 +23,7 @@ import (
 	"visibility/internal/core"
 	"visibility/internal/dist"
 	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/region"
 	"visibility/internal/trace"
 )
@@ -54,6 +55,9 @@ type Config struct {
 	TraceOut io.Writer
 	// Spans, when non-nil, receives wall-clock analysis-phase spans.
 	Spans *obs.Buffer
+	// Recorder, when non-nil, journals coarse analyzer events into the
+	// flight-recorder ring.
+	Recorder *recorder.Recorder
 }
 
 // Result is one measured experiment cell.
@@ -133,6 +137,7 @@ func Run(cfg Config) (*Result, error) {
 	distCfg := dist.DefaultConfig(cfg.DCR)
 	distCfg.Metrics = reg
 	distCfg.Spans = cfg.Spans
+	distCfg.Recorder = cfg.Recorder
 	driver := dist.New(machine, inst.Tree, buildAnalyzer, owner, distCfg)
 	stream := core.NewStream(inst.Tree)
 

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -71,6 +72,45 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the bucket containing the
+// rank, taking each bucket's lower edge from the previous bound (0 for
+// the first). Observations that landed in the overflow bucket clamp the
+// estimate to the last bound — the histogram cannot see past its edges —
+// and a histogram with no bounds at all falls back to the mean. Returns
+// 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1 / float64(total)
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	lo := int64(0)
+	for i, bound := range h.bounds {
+		n := h.buckets[i].Load()
+		if cum+n >= rank {
+			frac := float64(rank-cum) / float64(n)
+			return lo + int64(math.Round(frac*float64(bound-lo)))
+		}
+		cum += n
+		lo = bound
+	}
+	if len(h.bounds) == 0 {
+		return h.sum.Load() / total
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Registry holds instruments by hierarchical slash-separated name
 // (e.g. "cluster/messages"). Registration is idempotent: asking for an
@@ -167,7 +207,10 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {
 
 // Snapshot is a point-in-time view of every metric in a registry.
 // Histograms expand into one entry per bucket ("name/le_<bound>" and
-// "name/le_inf") plus "name/count" and "name/sum".
+// "name/le_inf") plus "name/count", "name/sum", and quantile estimates
+// "name/p50", "name/p95", "name/p99" (see Histogram.Quantile) so
+// dashboards and CI can assert on latency percentiles without
+// re-deriving them from bucket counts.
 type Snapshot map[string]int64
 
 // Snapshot captures the current value of every registered metric.
@@ -188,6 +231,9 @@ func (r *Registry) Snapshot() Snapshot {
 			out[name+"/le_inf"] = m.buckets[len(m.bounds)].Load()
 			out[name+"/count"] = m.Count()
 			out[name+"/sum"] = m.Sum()
+			out[name+"/p50"] = m.Quantile(0.50)
+			out[name+"/p95"] = m.Quantile(0.95)
+			out[name+"/p99"] = m.Quantile(0.99)
 		}
 	}
 	for name, fn := range r.funcs {

@@ -34,6 +34,9 @@ func TestCounterGaugeHistogram(t *testing.T) {
 		"a/count": 4, "a/gauge": -2,
 		"a/hist/le_10": 2, "a/hist/le_100": 2, "a/hist/le_inf": 1,
 		"a/hist/count": 5, "a/hist/sum": 1122,
+		// rank(p50)=3 lands halfway through (10,100]; p95/p99 land in the
+		// overflow bucket and clamp to the last bound.
+		"a/hist/p50": 55, "a/hist/p95": 100, "a/hist/p99": 100,
 	}
 	for k, v := range want {
 		if snap[k] != v {
@@ -42,6 +45,46 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 	if len(snap) != len(want) {
 		t.Errorf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", 100, 1000, 10000)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 fast observations, 9 mid, 1 slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(500)
+	}
+	h.Observe(5000)
+	// p50: rank 50 of 100 inside (0,100] → 50/90 of the way up.
+	if got := h.Quantile(0.50); got != 56 {
+		t.Errorf("p50 = %d, want 56", got)
+	}
+	// p95: rank 95 → 5th of 9 in (100,1000] → 100 + 5/9*900 = 600.
+	if got := h.Quantile(0.95); got != 600 {
+		t.Errorf("p95 = %d, want 600", got)
+	}
+	// p99: rank 99 → last of the mid bucket.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000", got)
+	}
+	// p100: top edge of the last finite bucket.
+	if got := h.Quantile(1.0); got != 10000 {
+		t.Errorf("p100 = %d, want 10000", got)
+	}
+
+	// A boundless histogram estimates with the mean.
+	m := r.NewHistogram("boundless")
+	m.Observe(10)
+	m.Observe(30)
+	if got := m.Quantile(0.5); got != 20 {
+		t.Errorf("boundless p50 = %d, want mean 20", got)
 	}
 }
 

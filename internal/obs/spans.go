@@ -7,14 +7,29 @@ import (
 )
 
 // Span is one completed begin/end interval: a phase of a per-launch
-// analysis (region-tree traversal, refinement, BVH query, coalescing) or a
-// tracer event (record/replay/invalidate). Times are nanoseconds on the
-// buffer's clock — monotonic wall clock by default.
+// analysis (region-tree traversal, refinement, BVH query, coalescing), a
+// tracer event (record/replay/invalidate), or a serving-layer interval
+// (HTTP request, queue wait). Times are nanoseconds on the buffer's
+// clock — monotonic wall clock by default.
+//
+// Trace, ID, and Parent place the span in a request-scoped trace tree
+// (see TraceContext); all three are empty for spans recorded outside any
+// trace context, which keeps pre-existing exports byte-identical.
 type Span struct {
 	Name  string
 	Cat   string
 	Start int64
 	End   int64
+
+	Trace  string `json:",omitempty"`
+	ID     string `json:",omitempty"`
+	Parent string `json:",omitempty"`
+}
+
+// Context returns the span's identity as a TraceContext (for parenting
+// further children under it); invalid when the span carries no trace.
+func (s Span) Context() TraceContext {
+	return TraceContext{TraceID: s.Trace, SpanID: s.ID}
 }
 
 // Buffer records spans into a fixed-capacity ring, dropping the oldest
@@ -25,7 +40,8 @@ type Span struct {
 // use.
 type Buffer struct {
 	enabled atomic.Bool
-	now     func() int64 // immutable after construction
+	ctx     atomic.Pointer[TraceContext] // current parent for Begin; nil = none
+	now     func() int64                 // immutable after construction
 
 	mu      sync.Mutex
 	ring    []Span // guarded by mu
@@ -55,22 +71,107 @@ func NewBufferClock(capacity int, now func() int64) *Buffer {
 // ended after disabling are still recorded.
 func (b *Buffer) SetEnabled(on bool) { b.enabled.Store(on) }
 
+// Now returns the current time on the buffer's clock (0 on a nil buffer)
+// so externally timed intervals (queue waits) land on the same axis as
+// recorded spans.
+func (b *Buffer) Now() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.now()
+}
+
+// SetContext installs tc as the parent of every span Begin records until
+// the next SetContext. An invalid tc clears the parent. The session
+// worker brackets each job with SetContext, so the per-phase analysis
+// spans the runtime emits during the job become children of the job's
+// HTTP request span without the analyzers knowing about HTTP at all.
+func (b *Buffer) SetContext(tc TraceContext) {
+	if b == nil {
+		return
+	}
+	if !tc.Valid() {
+		b.ctx.Store(nil)
+		return
+	}
+	b.ctx.Store(&tc)
+}
+
+// Context returns the currently installed parent context (invalid when
+// none is set).
+func (b *Buffer) Context() TraceContext {
+	if b == nil {
+		return TraceContext{}
+	}
+	if p := b.ctx.Load(); p != nil {
+		return *p
+	}
+	return TraceContext{}
+}
+
 // Active is an in-flight span returned by Begin; call End exactly once.
 // The zero Active (from a nil or disabled buffer) is inert.
 type Active struct {
-	buf   *Buffer
-	name  string
-	cat   string
-	start int64
+	buf    *Buffer
+	name   string
+	cat    string
+	trace  string
+	id     string
+	parent string
+	start  int64
 }
 
 // Begin starts a span. On a nil or disabled buffer it returns an inert
-// Active whose End is a no-op, so call sites need no guards.
+// Active whose End is a no-op, so call sites need no guards. When a
+// parent context is installed (SetContext), the span joins its trace.
 func (b *Buffer) Begin(name, cat string) Active {
 	if b == nil || !b.enabled.Load() {
 		return Active{}
 	}
-	return Active{buf: b, name: name, cat: cat, start: b.now()}
+	a := Active{buf: b, name: name, cat: cat, start: b.now()}
+	if p := b.ctx.Load(); p != nil {
+		a.trace, a.parent, a.id = p.TraceID, p.SpanID, NewSpanID()
+	}
+	return a
+}
+
+// BeginSpan starts a span explicitly parented under parent, returning
+// the in-flight span and the context identifying it (for parenting
+// further children). An invalid parent starts a fresh root trace. On a
+// nil or disabled buffer the span is inert but the returned context is
+// still usable — propagation survives even where recording is off.
+func (b *Buffer) BeginSpan(name, cat string, parent TraceContext) (Active, TraceContext) {
+	if b == nil || !b.enabled.Load() {
+		if !parent.Valid() {
+			parent = NewTraceContext()
+		}
+		return Active{}, parent.Child()
+	}
+	a := Active{buf: b, name: name, cat: cat, start: b.now()}
+	if parent.Valid() {
+		a.trace, a.parent, a.id = parent.TraceID, parent.SpanID, NewSpanID()
+	} else {
+		a.trace, a.id = NewTraceID(), NewSpanID()
+	}
+	return a, TraceContext{TraceID: a.trace, SpanID: a.id}
+}
+
+// Record appends a completed span with explicit timestamps (on the
+// buffer's clock, see Now) parented under parent, returning the recorded
+// span's context. Used for intervals measured outside the buffer, like
+// the time a job spent queued before its worker picked it up.
+func (b *Buffer) Record(name, cat string, start, end int64, parent TraceContext) TraceContext {
+	if b == nil || !b.enabled.Load() {
+		return parent
+	}
+	s := Span{Name: name, Cat: cat, Start: start, End: end}
+	if parent.Valid() {
+		s.Trace, s.Parent, s.ID = parent.TraceID, parent.SpanID, NewSpanID()
+	} else {
+		s.Trace, s.ID = NewTraceID(), NewSpanID()
+	}
+	b.push(s)
+	return s.Context()
 }
 
 // End completes the span and records it.
@@ -78,7 +179,17 @@ func (a Active) End() {
 	if a.buf == nil {
 		return
 	}
-	a.buf.push(Span{Name: a.name, Cat: a.cat, Start: a.start, End: a.buf.now()})
+	a.buf.push(Span{
+		Name: a.name, Cat: a.cat, Start: a.start, End: a.buf.now(),
+		Trace: a.trace, ID: a.id, Parent: a.parent,
+	})
+}
+
+// Context returns the identity of an in-flight span begun with BeginSpan
+// or under an installed parent context (invalid for inert or untraced
+// spans).
+func (a Active) Context() TraceContext {
+	return TraceContext{TraceID: a.trace, SpanID: a.id}
 }
 
 // push appends s, overwriting the oldest span when the ring is full.

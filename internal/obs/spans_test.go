@@ -64,6 +64,155 @@ func TestNilAndDisabledBuffersAreInert(t *testing.T) {
 	}
 }
 
+func TestBeginJoinsInstalledContext(t *testing.T) {
+	b := NewBufferClock(8, fakeClock())
+	b.Begin("orphan", "test").End()
+
+	parent := NewTraceContext()
+	b.SetContext(parent)
+	b.Begin("child", "test").End()
+	b.SetContext(TraceContext{})
+	b.Begin("orphan2", "test").End()
+
+	spans := b.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for _, i := range []int{0, 2} {
+		if spans[i].Trace != "" || spans[i].ID != "" || spans[i].Parent != "" {
+			t.Errorf("span %q outside context carries trace fields: %+v", spans[i].Name, spans[i])
+		}
+	}
+	c := spans[1]
+	if c.Trace != parent.TraceID || c.Parent != parent.SpanID {
+		t.Errorf("child span not parented under installed context: %+v", c)
+	}
+	if len(c.ID) != 16 || c.ID == parent.SpanID {
+		t.Errorf("child span ID malformed or reused: %q", c.ID)
+	}
+}
+
+func TestBeginSpanAndRecordBuildTree(t *testing.T) {
+	b := NewBufferClock(8, fakeClock())
+
+	// Root span from no parent: fresh trace.
+	root, rootCtx := b.BeginSpan("http.workloads", "http", TraceContext{})
+	if !rootCtx.Valid() {
+		t.Fatal("BeginSpan returned invalid context")
+	}
+	if got := root.Context(); got != rootCtx {
+		t.Errorf("Active.Context = %+v, want %+v", got, rootCtx)
+	}
+	// Externally timed child (a queue wait).
+	qCtx := b.Record("queue.wait", "queue", 10, 20, rootCtx)
+	if qCtx.TraceID != rootCtx.TraceID || qCtx.SpanID == rootCtx.SpanID {
+		t.Errorf("Record context wrong: %+v", qCtx)
+	}
+	// Explicit child of the root.
+	child, childCtx := b.BeginSpan("analysis", "analysis", rootCtx)
+	child.End()
+	root.End()
+
+	byID := make(map[string]Span)
+	for _, s := range b.Snapshot() {
+		byID[s.ID] = s
+	}
+	if len(byID) != 3 {
+		t.Fatalf("got %d distinct spans, want 3", len(byID))
+	}
+	q := byID[qCtx.SpanID]
+	if q.Name != "queue.wait" || q.Start != 10 || q.End != 20 || q.Parent != rootCtx.SpanID {
+		t.Errorf("queue span wrong: %+v", q)
+	}
+	c := byID[childCtx.SpanID]
+	if c.Parent != rootCtx.SpanID || c.Trace != rootCtx.TraceID {
+		t.Errorf("child span wrong: %+v", c)
+	}
+	r := byID[rootCtx.SpanID]
+	if r.Parent != "" || r.Trace != rootCtx.TraceID {
+		t.Errorf("root span wrong: %+v", r)
+	}
+}
+
+func TestBeginSpanPropagatesWhenDisabled(t *testing.T) {
+	var nilBuf *Buffer
+	sp, tc := nilBuf.BeginSpan("x", "test", TraceContext{})
+	sp.End() // must not panic
+	if !tc.Valid() {
+		t.Error("nil buffer BeginSpan returned unusable context")
+	}
+	parent := NewTraceContext()
+	_, tc2 := nilBuf.BeginSpan("y", "test", parent)
+	if tc2.TraceID != parent.TraceID || tc2.SpanID == parent.SpanID {
+		t.Errorf("nil buffer did not extend parent trace: %+v", tc2)
+	}
+
+	b := NewBufferClock(4, fakeClock())
+	b.SetEnabled(false)
+	if got := b.Record("q", "queue", 1, 2, parent); got != parent {
+		t.Errorf("disabled Record did not pass parent through: %+v", got)
+	}
+	if b.Len() != 0 {
+		t.Errorf("disabled buffer recorded %d spans", b.Len())
+	}
+	if nilBuf.Now() != 0 {
+		t.Error("nil buffer Now != 0")
+	}
+}
+
+// TestRingOverflowConcurrentTraced hammers a small traced ring from many
+// writers: the drop-oldest invariant must hold (len+dropped == pushes)
+// and no span may come out with a corrupted parent/ID relationship —
+// every surviving traced span links to the installed context and keeps a
+// unique well-formed ID. Run under -race in CI.
+func TestRingOverflowConcurrentTraced(t *testing.T) {
+	const cap = 64
+	const goroutines = 8
+	const perG = 1000
+	b := NewBuffer(cap)
+	root := NewTraceContext()
+	b.SetContext(root)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := b.Begin("work", "test")
+				sp.End()
+				if i%100 == 0 {
+					_ = b.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if b.Len() != cap {
+		t.Errorf("Len = %d, want full ring of %d", b.Len(), cap)
+	}
+	if got := b.Dropped() + int64(b.Len()); got != goroutines*perG {
+		t.Errorf("recorded+dropped = %d, want %d", got, goroutines*perG)
+	}
+	ids := make(map[string]bool)
+	for _, s := range b.Snapshot() {
+		if s.Trace != root.TraceID || s.Parent != root.SpanID {
+			t.Fatalf("span with corrupted parentage: %+v", s)
+		}
+		if len(s.ID) != 16 || !isLowerHex(s.ID) {
+			t.Fatalf("span with malformed ID: %+v", s)
+		}
+		if ids[s.ID] {
+			t.Fatalf("duplicate span ID %q survived overflow", s.ID)
+		}
+		ids[s.ID] = true
+		if s.End < s.Start {
+			t.Fatalf("span with End < Start: %+v", s)
+		}
+	}
+}
+
 func TestBufferConcurrency(t *testing.T) {
 	b := NewBuffer(128)
 	var wg sync.WaitGroup

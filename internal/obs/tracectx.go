@@ -1,0 +1,124 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// TraceContext identifies a position in a request-scoped distributed
+// trace: the 16-byte trace ID shared by every span of one request and the
+// 8-byte ID of the current span, both lower-hex encoded as in the W3C
+// Trace Context "traceparent" header. The zero value means "no context";
+// every consumer treats it as absent.
+//
+// The serving stack threads one TraceContext per HTTP request from the
+// client (which mints the root), through the server middleware, across
+// the session worker queue, and into the analysis span buffer — so one
+// export shows HTTP span → queue-wait span → per-phase analysis spans as
+// a single parented tree.
+type TraceContext struct {
+	TraceID string `json:"trace,omitempty"`
+	SpanID  string `json:"span,omitempty"`
+}
+
+// Valid reports whether the context carries both IDs.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" && tc.SpanID != "" }
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set). Invalid contexts render empty.
+func (tc TraceContext) Traceparent() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// version byte (per the spec, unknown versions are parsed as version 00)
+// and rejects malformed or all-zero IDs; ok is false for anything
+// unusable, including the empty string.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	version, trace, span := parts[0], parts[1], parts[2]
+	if len(version) != 2 || !isLowerHex(version) || version == "ff" {
+		return TraceContext{}, false
+	}
+	if len(trace) != 32 || !isLowerHex(trace) || allZero(trace) {
+		return TraceContext{}, false
+	}
+	if len(span) != 16 || !isLowerHex(span) || allZero(span) {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: trace, SpanID: span}, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ID generation: a per-process random salt mixed with an atomic counter
+// through a splitmix64 finalizer. IDs are unique within the process and
+// collide across processes only with the salt's 2^-64 probability —
+// exactly the regime trace IDs need, without per-ID syscall cost.
+var (
+	idSalt atomic.Uint64
+	idCtr  atomic.Uint64
+)
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idSalt.Store(binary.LittleEndian.Uint64(b[:]))
+	}
+}
+
+func nextID() uint64 {
+	z := idSalt.Load() + idCtr.Add(1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // the all-zero ID is invalid per the W3C spec
+	}
+	return z
+}
+
+// NewSpanID returns a fresh 16-hex-digit span ID.
+func NewSpanID() string { return fmt.Sprintf("%016x", nextID()) }
+
+// NewTraceID returns a fresh 32-hex-digit trace ID.
+func NewTraceID() string { return fmt.Sprintf("%016x%016x", nextID(), nextID()) }
+
+// NewTraceContext mints a root context: a fresh trace with a fresh span.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}
+
+// Child returns a context in the same trace with a fresh span ID —
+// the identity of a new span parented under tc.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: NewSpanID()}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("NewTraceContext not valid: %+v", tc)
+	}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("ID lengths wrong: trace=%q span=%q", tc.TraceID, tc.SpanID)
+	}
+	hdr := tc.Traceparent()
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("traceparent shape wrong: %q", hdr)
+	}
+	back, ok := ParseTraceparent(hdr)
+	if !ok || back != tc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", back, ok, tc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-abc-def-01",                            // too short
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // all-zero trace
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span
+		"00-" + strings.Repeat("A", 32) + "-" + strings.Repeat("a", 16) + "-01", // uppercase hex
+		"ff-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16) + "-01", // forbidden version
+		"0-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16) + "-01",  // short version
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// Unknown (but well-formed) versions parse as version 00 per the spec.
+	if _, ok := ParseTraceparent("01-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01"); !ok {
+		t.Error("well-formed future version rejected")
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewSpanID()
+		if len(id) != 16 || !isLowerHex(id) || allZero(id) {
+			t.Fatalf("malformed span ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestChildKeepsTrace(t *testing.T) {
+	root := NewTraceContext()
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Errorf("child trace %q != root trace %q", child.TraceID, root.TraceID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Error("child span ID not fresh")
+	}
+	if (TraceContext{}).Valid() {
+		t.Error("zero context claims validity")
+	}
+	if got := (TraceContext{}).Traceparent(); got != "" {
+		t.Errorf("zero context traceparent = %q, want empty", got)
+	}
+}

@@ -87,10 +87,21 @@ func (tw *TraceWriter) ThreadName(pid, tid int, name string) {
 }
 
 // Spans appends every span as a duration event on (pid, tid), oldest
-// first — the bridge from a span Buffer to the exported trace.
+// first — the bridge from a span Buffer to the exported trace. Spans that
+// belong to a request trace carry their tree position in args
+// ("trace"/"span"/"parent"), so a consumer can reassemble the parented
+// HTTP → queue → analysis tree; untraced spans emit no args, keeping
+// pre-existing exports byte-identical.
 func (tw *TraceWriter) Spans(pid, tid int, spans []Span) {
 	for _, s := range spans {
-		tw.Duration(pid, tid, s.Name, s.Cat, s.Start, s.End-s.Start, nil)
+		var args map[string]any
+		if s.Trace != "" {
+			args = map[string]any{"trace": s.Trace, "span": s.ID}
+			if s.Parent != "" {
+				args["parent"] = s.Parent
+			}
+		}
+		tw.Duration(pid, tid, s.Name, s.Cat, s.Start, s.End-s.Start, args)
 	}
 }
 

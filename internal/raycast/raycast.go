@@ -23,6 +23,7 @@ import (
 	"visibility/internal/core"
 	"visibility/internal/field"
 	"visibility/internal/index"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 )
@@ -318,6 +319,7 @@ func (rc *RayCast) refine(fs *fieldState, sp index.Space) []*eqset {
 		rc.insert(fs, in)
 		rc.insert(fs, out)
 		rc.stats.SetsCreated += 2
+		rc.opts.Recorder.Log(recorder.KindEqSplit, 2, int64(len(s.hist)))
 		inside = append(inside, in)
 	}
 	return inside
@@ -441,6 +443,7 @@ func privRuns(hist []core.Entry) int64 {
 func (rc *RayCast) dominatingWrite(fs *fieldState, sp index.Space, e core.Entry, inside []*eqset) {
 	span := rc.opts.Spans.Begin("raycast.coalesce", "analysis")
 	defer span.End()
+	rc.opts.Recorder.Log(recorder.KindEqCoalesce, int64(len(inside)), 0)
 	buckets := make(map[int]index.Space)
 	for _, s := range inside {
 		s.dead = true

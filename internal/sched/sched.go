@@ -17,6 +17,7 @@ import (
 	"visibility/internal/field"
 	"visibility/internal/geometry"
 	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 )
@@ -51,6 +52,9 @@ type Executor struct {
 	metrics   *obs.Registry
 	cacheHits *obs.Counter
 	cacheMiss *obs.Counter
+
+	// Flight recorder for coarse event journaling (nil-safe).
+	rec *recorder.Recorder
 }
 
 type commitKey struct {
@@ -74,6 +78,12 @@ func NewExecutor(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.St
 // (nil gets a private one); a serving layer passes one registry per
 // session so scheduler counters land next to the analyzer's.
 func NewExecutorMetrics(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int, metrics *obs.Registry) *Executor {
+	return NewExecutorObs(tree, an, init, workers, metrics, nil)
+}
+
+// NewExecutorObs is NewExecutorMetrics that also journals task launches
+// and instance-cache outcomes into rec (nil disables journaling).
+func NewExecutorObs(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int, metrics *obs.Registry, rec *recorder.Recorder) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
@@ -92,6 +102,7 @@ func NewExecutorMetrics(tree *region.Tree, an core.Analyzer, init map[field.ID]*
 		metrics:   metrics,
 		cacheHits: metrics.NewCounter("sched/cache/hits"),
 		cacheMiss: metrics.NewCounter("sched/cache/misses"),
+		rec:       rec,
 	}
 	for f, s := range init {
 		x.init[f] = s.Clone()
@@ -111,6 +122,7 @@ func (x *Executor) Analyzer() core.Analyzer { return x.an }
 // with the task's materialized inputs (indexed by requirement; reduce
 // requirements have nil inputs).
 func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.Store)) *event.Event {
+	x.rec.Log(recorder.KindTaskLaunch, int64(t.ID), int64(len(t.Reqs)))
 	res := x.an.Analyze(t)
 	if len(res.Plans) != len(t.Reqs) {
 		panic(fmt.Sprintf("sched: analyzer %s returned %d plans for %d reqs", x.an.Name(), len(res.Plans), len(t.Reqs)))
@@ -213,10 +225,12 @@ func (x *Executor) materialize(req core.Req, plan []core.Visible) *data.Store {
 	if st, ok := x.instances[key]; ok {
 		x.mu.Unlock()
 		x.cacheHits.Inc()
+		x.rec.Log(recorder.KindCacheHit, int64(req.Field), 0)
 		return st
 	}
 	x.mu.Unlock()
 	x.cacheMiss.Inc()
+	x.rec.Log(recorder.KindCacheMiss, int64(req.Field), 0)
 
 	in := x.materializeFresh(req, plan)
 

@@ -1,8 +1,10 @@
 // Package client is the Go client for the visserve analysis service: it
 // speaks the wire format over HTTP, honors the server's backpressure
-// contract (429 + Retry-After is retried with the advertised delay, up to
-// a bounded attempt budget), and mirrors the session lifecycle — create,
-// submit, query, checkpoint, restore, close.
+// contract (429 + Retry-After is retried with the advertised delay plus
+// bounded random jitter, up to a bounded attempt budget), and mirrors
+// the session lifecycle — create, submit, query, checkpoint, restore,
+// close. Each request carries a W3C traceparent header, so server-side
+// spans join the client's trace.
 package client
 
 import (
@@ -10,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -26,8 +29,23 @@ type Client struct {
 	// MaxRetries bounds 429 retries per request (default 20).
 	MaxRetries int
 	// RetryWait overrides the server's Retry-After delay when set —
-	// tests and load harnesses use a short wait.
+	// tests and load harnesses use a short wait. Jitter still applies.
 	RetryWait time.Duration
+	// Spans, when non-nil, records one "client.<method> <path>" span per
+	// request; its trace context is what the traceparent header carries,
+	// so a merged export parents the server's HTTP span under it.
+	Spans *obs.Buffer
+}
+
+// retryDelay spreads retries over [base, 1.5*base]: synchronized 429
+// retries from many clients would otherwise re-collide on the server at
+// Retry-After boundaries (thundering herd). The global math/rand source
+// is goroutine-safe.
+func retryDelay(base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	return base + time.Duration(rand.Int63n(int64(base)/2+1))
 }
 
 // New creates a client for the server at base (e.g.
@@ -58,10 +76,14 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
 }
 
-// do issues one request, retrying 429s per the Retry-After header, and
-// decodes a JSON body into out when out is non-nil. body, when non-nil,
-// is re-readable (bytes.Reader) so retries can rewind it.
+// do issues one request, retrying 429s per the Retry-After header (plus
+// jitter), and decodes a JSON body into out when out is non-nil. body,
+// when non-nil, is re-readable (bytes.Reader) so retries can rewind it.
+// The whole call — retries included — is covered by one client span, and
+// every attempt carries its traceparent.
 func (c *Client) do(method, path string, body []byte, out any) error {
+	sp, tc := c.Spans.BeginSpan("client."+method+" "+path, "client", obs.TraceContext{})
+	defer sp.End()
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
 		if body != nil {
@@ -71,6 +93,7 @@ func (c *Client) do(method, path string, body []byte, out any) error {
 		if err != nil {
 			return err
 		}
+		req.Header.Set("traceparent", tc.Traceparent())
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -91,7 +114,7 @@ func (c *Client) do(method, path string, body []byte, out any) error {
 				}
 				wait = time.Duration(secs) * time.Second
 			}
-			time.Sleep(wait)
+			time.Sleep(retryDelay(wait))
 			continue
 		}
 		if resp.StatusCode >= 300 {
@@ -146,6 +169,42 @@ func (c *Client) Restore(checkpoint []byte, cfg SessionConfig) (*Session, error)
 	return &Session{c: c, ID: resp.ID}, nil
 }
 
+// SessionInfo is the server's description of one live session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+	Tracing   bool   `json:"tracing"`
+	Queued    int    `json:"queued"`
+	Failed    string `json:"failed,omitempty"`
+}
+
+// Sessions lists the live sessions, sorted by id.
+func (c *Client) Sessions() ([]SessionInfo, error) {
+	var resp struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	if err := c.do("GET", "/v1/sessions", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
+}
+
+// SpanWindow is one session's recorded span ring.
+type SpanWindow struct {
+	Spans   []obs.Span `json:"spans"`
+	Dropped int64      `json:"dropped"`
+}
+
+// DebugSpans returns every live session's span window, keyed by session
+// id.
+func (c *Client) DebugSpans() (map[string]SpanWindow, error) {
+	var out map[string]SpanWindow
+	if err := c.do("GET", "/debug/spans", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Metrics returns the merged server + per-session metrics snapshot.
 func (c *Client) Metrics() (map[string]json.RawMessage, error) {
 	var out map[string]json.RawMessage
@@ -153,6 +212,40 @@ func (c *Client) Metrics() (map[string]json.RawMessage, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// DebugTrace downloads the server's merged Chrome trace-event export
+// (HTTP spans + every session's queue/analysis spans, one time axis).
+func (c *Client) DebugTrace() ([]byte, error) {
+	var raw []byte
+	if err := c.do("GET", "/debug/trace", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// RecorderEvent is one flight-recorder event as exposed over the wire.
+type RecorderEvent struct {
+	T    int64  `json:"t_ns"`
+	Kind string `json:"kind"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+// DebugRecorder returns the newest n flight-recorder events (n<=0 uses
+// the server default window).
+func (c *Client) DebugRecorder(n int) ([]RecorderEvent, error) {
+	path := "/debug/recorder"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var resp struct {
+		Events []RecorderEvent `json:"events"`
+	}
+	if err := c.do("GET", path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
 }
 
 // Submit sends one workload to the session; the server queues it on the

@@ -1,0 +1,28 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayJitterBounds pins the backpressure contract: every retry
+// waits at least the advertised delay, never more than 1.5x of it, and
+// delays actually vary — synchronized clients must not re-collide on the
+// server at exact Retry-After boundaries.
+func TestRetryDelayJitterBounds(t *testing.T) {
+	const base = 100 * time.Millisecond
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		d := retryDelay(base)
+		if d < base || d > base+base/2 {
+			t.Fatalf("retryDelay(%v) = %v outside [%v, %v]", base, d, base, base+base/2)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("200 draws produced %d distinct delays — jitter missing", len(distinct))
+	}
+	if got := retryDelay(0); got != 0 {
+		t.Errorf("retryDelay(0) = %v, want 0", got)
+	}
+}

@@ -2,10 +2,13 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"visibility"
@@ -17,8 +20,22 @@ import (
 // microseconds.
 var latencyBounds = []int64{100, 1_000, 10_000, 100_000, 1_000_000}
 
-// routes mounts every endpoint, each wrapped with request counting and a
-// latency histogram under "server/http/<name>/".
+// traceKey carries the request's span context through context.Context.
+type traceKey struct{}
+
+// traceContext returns the trace context of the HTTP span covering r
+// (zero when the request bypassed the instrumented mux).
+func traceContext(r *http.Request) obs.TraceContext {
+	tc, _ := r.Context().Value(traceKey{}).(obs.TraceContext)
+	return tc
+}
+
+// routes mounts every endpoint, each wrapped with request counting, a
+// latency histogram under "server/http/<name>/", and an "http.<name>"
+// span on the server buffer. The span joins the trace in the request's
+// W3C traceparent header when present (so client and server spans share
+// a trace ID) and starts a fresh trace otherwise; handlers propagate it
+// to worker jobs via the request context.
 func (srv *Server) routes() {
 	handle := func(pattern, name string, h http.HandlerFunc) {
 		requests := srv.metrics.NewCounter("server/http/" + name + "/requests")
@@ -26,7 +43,10 @@ func (srv *Server) routes() {
 		srv.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
 			requests.Inc()
-			h(w, r)
+			parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			sp, tc := srv.spans.BeginSpan("http."+name, "http", parent)
+			h(w, r.WithContext(context.WithValue(r.Context(), traceKey{}, tc)))
+			sp.End()
 			latency.Observe(time.Since(start).Microseconds())
 		})
 	}
@@ -43,7 +63,18 @@ func (srv *Server) routes() {
 	handle("GET /v1/sessions/{id}/spans", "session_spans", srv.handleSessionSpans)
 	handle("GET /metrics", "metrics", srv.handleMetrics)
 	handle("GET /debug/spans", "debug_spans", srv.handleDebugSpans)
+	handle("GET /debug/trace", "debug_trace", srv.handleDebugTrace)
+	handle("GET /debug/recorder", "debug_recorder", srv.handleDebugRecorder)
 	handle("GET /healthz", "healthz", srv.handleHealthz)
+	if srv.cfg.EnablePprof {
+		// Raw mounts: profiling endpoints stay out of the metrics/tracing
+		// wrapper so profiling the server does not perturb its own spans.
+		srv.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		srv.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		srv.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		srv.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		srv.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // --- response plumbing --------------------------------------------------
@@ -79,6 +110,41 @@ func (srv *Server) fail(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// eventBody is one flight-recorder event on the wire.
+type eventBody struct {
+	T    int64  `json:"t_ns"`
+	Kind string `json:"kind"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+// recorderTail returns the newest n journaled events, oldest first.
+func (srv *Server) recorderTail(n int) []eventBody {
+	events := srv.rec.Snapshot()
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	out := make([]eventBody, len(events))
+	for i, e := range events {
+		out[i] = eventBody{T: e.T, Kind: e.Kind.String(), A: e.A, B: e.B}
+	}
+	return out
+}
+
+// failConflict writes the 409 for a failed session, attaching the flight
+// recorder's recent window (and the on-disk dump path, when one was
+// written) so the client sees what the runtime was doing when it died.
+func (srv *Server) failConflict(w http.ResponseWriter, s *session, err error) {
+	body := map[string]any{
+		"error":    "session failed: " + err.Error(),
+		"recorder": srv.recorderTail(64),
+	}
+	if path := s.recorderDump(); path != "" {
+		body["recorder_dump"] = path
+	}
+	writeJSON(w, http.StatusConflict, body)
 }
 
 func notFound(w http.ResponseWriter, what string) {
@@ -186,7 +252,7 @@ func (srv *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.latchedFailure(); err != nil {
-		writeJSON(w, http.StatusConflict, errorBody{Error: "session failed: " + err.Error()})
+		srv.failConflict(w, s, err)
 		return
 	}
 	wl, err := wire.Decode(r.Body)
@@ -194,7 +260,7 @@ func (srv *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		srv.fail(w, err)
 		return
 	}
-	if err := srv.submit(s, job{fn: func() {
+	if err := srv.submit(s, job{tc: traceContext(r), fn: func() {
 		if _, err := s.env.Apply(wl); err != nil {
 			s.latchFailure(err)
 		}
@@ -227,7 +293,7 @@ func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		rows    [][]float64
 		missing string
 	)
-	err := srv.doSync(s, func() {
+	err := srv.doSync(s, traceContext(r), func() {
 		reg := resolve()
 		if reg == nil {
 			missing = "region " + name
@@ -267,7 +333,7 @@ func (srv *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		tasks   []visibility.TaskInfo
 		missing string
 	)
-	err := srv.doSync(s, func() {
+	err := srv.doSync(s, traceContext(r), func() {
 		reg := resolve()
 		if reg == nil {
 			missing = "region " + name
@@ -300,7 +366,7 @@ func (srv *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 		missing string
 		dotErr  error
 	)
-	err := srv.doSync(s, func() {
+	err := srv.doSync(s, traceContext(r), func() {
 		reg := resolve()
 		if reg == nil {
 			missing = "region " + name
@@ -335,7 +401,7 @@ func (srv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		buf     bytes.Buffer
 		ckptErr error
 	)
-	err := srv.doSync(s, func() { ckptErr = s.rt.Checkpoint(&buf) })
+	err := srv.doSync(s, traceContext(r), func() { ckptErr = s.rt.Checkpoint(&buf) })
 	if err != nil {
 		srv.fail(w, err)
 		return
@@ -355,9 +421,9 @@ func (srv *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // sessionMetricsSnapshot captures a session's registry on its worker —
 // computed metrics read live analyzer state, which only the worker may
 // touch.
-func (srv *Server) sessionMetricsSnapshot(s *session) (obs.Snapshot, error) {
+func (srv *Server) sessionMetricsSnapshot(s *session, tc obs.TraceContext) (obs.Snapshot, error) {
 	var snap obs.Snapshot
-	if err := srv.doSync(s, func() { snap = s.metrics.Snapshot() }); err != nil {
+	if err := srv.doSync(s, tc, func() { snap = s.metrics.Snapshot() }); err != nil {
 		return nil, err
 	}
 	return snap, nil
@@ -368,7 +434,7 @@ func (srv *Server) handleSessionMetrics(w http.ResponseWriter, r *http.Request) 
 	if s == nil {
 		return
 	}
-	snap, err := srv.sessionMetricsSnapshot(s)
+	snap, err := srv.sessionMetricsSnapshot(s, traceContext(r))
 	if err != nil {
 		srv.fail(w, err)
 		return
@@ -379,11 +445,11 @@ func (srv *Server) handleSessionMetrics(w http.ResponseWriter, r *http.Request) 
 // handleMetrics merges the server registry with every session's registry
 // (namespaced by session id). A session too busy to snapshot reports
 // "unavailable" rather than stalling the endpoint.
-func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{"server": srv.metrics.Snapshot()}
 	sessions := map[string]any{}
 	for _, s := range srv.sessionList() {
-		if snap, err := srv.sessionMetricsSnapshot(s); err != nil {
+		if snap, err := srv.sessionMetricsSnapshot(s, traceContext(r)); err != nil {
 			sessions[s.id] = map[string]string{"unavailable": err.Error()}
 		} else {
 			sessions[s.id] = snap
@@ -420,6 +486,47 @@ func (srv *Server) handleDebugSpans(w http.ResponseWriter, _ *http.Request) {
 		out[s.id] = s.spansSnapshot()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebugTrace exports one merged Perfetto-loadable trace: the
+// server's HTTP spans on process 0 and each live session's spans
+// (queue waits and analysis phases) on their own process track. All
+// buffers share the server clock, and traced spans carry their
+// trace/span/parent IDs in args, so the viewer shows each request as a
+// parented tree spanning both tracks.
+func (srv *Server) handleDebugTrace(w http.ResponseWriter, _ *http.Request) {
+	tw := obs.NewTraceWriter()
+	tw.ProcessName(0, "visserve http")
+	tw.Spans(0, 0, srv.spans.Snapshot())
+	list := srv.sessionList()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	for i, s := range list {
+		tw.ProcessName(i+1, "session "+s.id+" ("+s.algorithm+")")
+		tw.Spans(i+1, 0, s.spans.Snapshot())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tw.Write(w); err != nil {
+		_ = err // client went away mid-body
+	}
+}
+
+// handleDebugRecorder exposes the flight recorder's last-N-events window
+// (?n=, default 256).
+func (srv *Server) handleDebugRecorder(w http.ResponseWriter, r *http.Request) {
+	n := 256
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			srv.fail(w, fmt.Errorf("invalid n %q", q))
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":  srv.recorderTail(n),
+		"total":   srv.rec.Len(),
+		"dropped": srv.rec.Dropped(),
+	})
 }
 
 func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -15,12 +15,16 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"visibility"
 	"visibility/internal/algo"
 	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/wire"
 )
 
@@ -39,6 +43,14 @@ type Config struct {
 	Workers int
 	// SpanCap is each session's span ring capacity (default 4096).
 	SpanCap int
+	// RecorderCap is the flight-recorder ring capacity (default 16384).
+	RecorderCap int
+	// RecorderDir, when non-empty, is where the flight recorder dumps its
+	// window on a worker failure; the dump path is reported in the 409
+	// body and the session description.
+	RecorderDir string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.SpanCap == 0 {
 		c.SpanCap = 4096
 	}
+	if c.RecorderCap == 0 {
+		c.RecorderCap = 16384
+	}
 	return c
 }
 
@@ -66,6 +81,13 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *obs.Registry // server-level: http counters + endpoint latency
+
+	// clock is the process-wide monotonic clock shared by the server span
+	// buffer, every session span buffer, and the flight recorder, so their
+	// timestamps merge onto one axis in the exported trace.
+	clock func() int64
+	spans *obs.Buffer        // server-level: one span per HTTP request
+	rec   *recorder.Recorder // process-wide flight recorder
 
 	active   *obs.Gauge
 	rejected *obs.Counter
@@ -78,18 +100,25 @@ type Server struct {
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+
+	dumpSeq atomic.Int64 // recorder dump file sequence
 }
 
 // New creates a server and starts its idle-session janitor.
 func New(cfg Config) *Server {
+	base := time.Now()
+	clock := func() int64 { return time.Since(base).Nanoseconds() }
 	srv := &Server{
 		cfg:         cfg.withDefaults(),
 		mux:         http.NewServeMux(),
 		metrics:     obs.NewRegistry(),
+		clock:       clock,
 		sessions:    make(map[string]*session),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	srv.spans = obs.NewBufferClock(srv.cfg.SpanCap, clock)
+	srv.rec = recorder.NewClock(srv.cfg.RecorderCap, clock)
 	srv.active = srv.metrics.NewGauge("server/sessions/active")
 	srv.rejected = srv.metrics.NewCounter("server/admission/rejected")
 	srv.routes()
@@ -103,6 +132,44 @@ func (srv *Server) Handler() http.Handler { return srv.mux }
 // Metrics returns the server-level registry (session registries are
 // separate by design).
 func (srv *Server) Metrics() *obs.Registry { return srv.metrics }
+
+// Recorder returns the process-wide flight recorder.
+func (srv *Server) Recorder() *recorder.Recorder { return srv.rec }
+
+// DumpRecorder writes the flight-recorder window to a fresh file in dir
+// and returns its path.
+func (srv *Server) DumpRecorder(dir string) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("visserve-recorder-%d-%d.bin", os.Getpid(), srv.dumpSeq.Add(1)))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := srv.rec.Dump(f); err != nil {
+		_ = f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sessionFailed reacts to a session latching its first failure: the
+// event is journaled, and when RecorderDir is set the recorder window is
+// dumped to disk so the state leading up to the failure survives the
+// session. The dump path is stored on the session for the 409 body.
+func (srv *Server) sessionFailed(s *session) {
+	srv.rec.Log(recorder.KindWorkerFail, s.seq, 0)
+	if srv.cfg.RecorderDir == "" {
+		return
+	}
+	path, err := srv.DumpRecorder(srv.cfg.RecorderDir)
+	if err != nil {
+		srv.metrics.NewCounter("server/recorder/dump_errors").Inc()
+		return
+	}
+	s.setDumpPath(path)
+}
 
 // SessionCount returns the number of live sessions.
 func (srv *Server) SessionCount() int {
@@ -132,13 +199,16 @@ func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg v
 		return nil, fmt.Errorf("unknown algorithm %q (have %v)", algorithm, algo.Names())
 	}
 	metrics := obs.NewRegistry()
-	spans := obs.NewBuffer(srv.cfg.SpanCap)
+	// The session buffer shares the server clock so HTTP, queue-wait, and
+	// analysis spans land on one time axis in the merged export.
+	spans := obs.NewBufferClock(srv.cfg.SpanCap, srv.clock)
 	cfg := visibility.Config{
 		Algorithm: algorithm,
 		Tracing:   tracing,
 		Workers:   srv.cfg.Workers,
 		Metrics:   metrics,
 		Spans:     spans,
+		Recorder:  srv.rec,
 	}
 	rt, env, err := seed(cfg)
 	if err != nil {
@@ -159,9 +229,11 @@ func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg v
 	srv.nextID++
 	id := fmt.Sprintf("s%06d", srv.nextID)
 	s := srv.newSession(id, algorithm, tracing, rt, env, metrics, spans)
+	s.seq = int64(srv.nextID)
 	srv.sessions[id] = s
 	srv.active.Set(int64(len(srv.sessions)))
 	srv.mu.Unlock()
+	srv.rec.Log(recorder.KindSessionOpen, s.seq, 0)
 	return s, nil
 }
 
@@ -191,6 +263,7 @@ func (srv *Server) closeSession(s *session, wait bool) {
 		delete(srv.sessions, s.id)
 		srv.active.Set(int64(len(srv.sessions)))
 		srv.mu.Unlock()
+		srv.rec.Log(recorder.KindSessionClose, s.seq, 0)
 	}
 	if wait {
 		<-s.done
@@ -228,16 +301,27 @@ func (srv *Server) jobDone() {
 
 func (srv *Server) unadmit() { srv.jobDone() }
 
+// Admission reject reason codes journaled in KindAdmitReject's B field.
+const (
+	rejectGlobalCap   = 1
+	rejectSessionCap  = 2
+	rejectSessionGone = 3
+)
+
 // submit admits a job globally, then to the session queue.
 func (srv *Server) submit(s *session, j job) error {
 	if err := srv.admit(); err != nil {
 		srv.rejected.Inc()
+		srv.rec.Log(recorder.KindAdmitReject, s.seq, rejectGlobalCap)
 		return err
 	}
 	if err := s.enqueue(j); err != nil {
 		srv.unadmit()
 		if err == errSessionBusy {
 			srv.rejected.Inc()
+			srv.rec.Log(recorder.KindAdmitReject, s.seq, rejectSessionCap)
+		} else {
+			srv.rec.Log(recorder.KindAdmitReject, s.seq, rejectSessionGone)
 		}
 		return err
 	}
@@ -245,8 +329,9 @@ func (srv *Server) submit(s *session, j job) error {
 }
 
 // doSync runs fn on the session worker and waits, through full admission.
-func (srv *Server) doSync(s *session, fn func()) error {
-	j := job{fn: fn, done: make(chan struct{})}
+// tc, when valid, parents the queue-wait and analysis spans the job emits.
+func (srv *Server) doSync(s *session, tc obs.TraceContext, fn func()) error {
+	j := job{fn: fn, done: make(chan struct{}), tc: tc}
 	if err := srv.submit(s, j); err != nil {
 		return err
 	}

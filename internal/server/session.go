@@ -7,6 +7,7 @@ import (
 
 	"visibility"
 	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/wire"
 )
 
@@ -21,6 +22,7 @@ type session struct {
 	algorithm string
 	tracing   bool
 	created   time.Time
+	seq       int64 // numeric id journaled in flight-recorder events
 
 	// rt and env are touched only by the worker goroutine (and by the
 	// creating goroutine before the worker starts).
@@ -40,12 +42,18 @@ type session struct {
 	closing  bool      // guarded by mu
 	failure  error     // guarded by mu; latched first worker failure
 	lastUsed time.Time // guarded by mu
+	dumpPath string    // guarded by mu; recorder dump written on failure
 }
 
 // job is one unit of worker-goroutine work; sync callers wait on done.
+// tc, when valid, is the request trace context the job runs under: the
+// worker records the queue wait as a child span and installs tc on the
+// session span buffer so analysis spans parent under the HTTP span.
 type job struct {
 	fn   func()
 	done chan struct{} // nil for fire-and-forget jobs
+	tc   obs.TraceContext
+	enq  int64 // enqueue time on the session span clock
 }
 
 var (
@@ -81,7 +89,19 @@ func (srv *Server) newSession(id, algorithm string, tracing bool, rt *visibility
 func (s *session) run() {
 	defer close(s.done)
 	for j := range s.jobs {
+		if j.tc.Valid() {
+			// The time since enqueue is the queue-wait child of the HTTP
+			// span; the job's own spans (analysis phases) parent directly
+			// under the HTTP span via the installed context.
+			s.spans.Record("queue.wait", "queue", j.enq, s.spans.Now(), j.tc)
+			s.spans.SetContext(j.tc)
+		}
+		s.srv.rec.Log(recorder.KindJobStart, s.seq, 0)
 		s.exec(j.fn)
+		s.srv.rec.Log(recorder.KindJobDone, s.seq, 0)
+		if j.tc.Valid() {
+			s.spans.SetContext(obs.TraceContext{})
+		}
 		if j.done != nil {
 			close(j.done)
 		}
@@ -95,11 +115,7 @@ func (s *session) run() {
 func (s *session) exec(fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.mu.Lock()
-			if s.failure == nil {
-				s.failure = fmt.Errorf("session worker: %v", r)
-			}
-			s.mu.Unlock()
+			s.latchFailure(fmt.Errorf("session worker: %v", r))
 		}
 	}()
 	fn()
@@ -114,6 +130,7 @@ func (s *session) enqueue(j job) error {
 	if s.closing {
 		return errSessionClosing
 	}
+	j.enq = s.spans.Now()
 	select {
 	case s.jobs <- j:
 		s.lastUsed = time.Now()
@@ -121,18 +138,6 @@ func (s *session) enqueue(j job) error {
 	default:
 		return errSessionBusy
 	}
-}
-
-// do runs fn on the worker and waits for it — the sync path queries use.
-// The returned error reflects admission only; fn communicates results
-// through its captures.
-func (s *session) do(fn func()) error {
-	j := job{fn: fn, done: make(chan struct{})}
-	if err := s.enqueue(j); err != nil {
-		return err
-	}
-	<-j.done
-	return nil
 }
 
 // beginClose initiates shutdown: exactly one caller closes the channel,
@@ -155,13 +160,35 @@ func (s *session) latchedFailure() error {
 	return s.failure
 }
 
-// latchFailure records err as the session failure if none is latched yet.
+// latchFailure records err as the session failure if none is latched yet;
+// the first latch triggers the server's failure reaction (flight-recorder
+// event and, when configured, a dump to disk).
 func (s *session) latchFailure(err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.failure == nil {
+	first := s.failure == nil
+	if first {
 		s.failure = err
 	}
+	s.mu.Unlock()
+	if first {
+		s.srv.sessionFailed(s)
+	}
+}
+
+// setDumpPath records where the failure-triggered recorder dump landed.
+func (s *session) setDumpPath(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dumpPath == "" {
+		s.dumpPath = path
+	}
+}
+
+// recorderDump returns the failure dump path, if one was written.
+func (s *session) recorderDump() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dumpPath
 }
 
 // idleSince reports the last accepted request time and the current queue

@@ -1,0 +1,244 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
+	"visibility/internal/server"
+	"visibility/internal/server/client"
+	"visibility/internal/wire"
+)
+
+// traceDoc mirrors the Chrome trace-event export for assertions.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTracePropagation drives one request trace end to end: the client
+// mints the root span, the server's HTTP span joins it via the
+// traceparent header, the queue wait and the analysis phases parent
+// under the HTTP span, and the merged /debug/trace export shows the
+// whole tree under one trace ID.
+func TestTracePropagation(t *testing.T) {
+	_, c, shutdown := newTestServer(t, server.Config{})
+	defer shutdown()
+	c.Spans = obs.NewBuffer(256)
+
+	sess, err := c.CreateSession(client.SessionConfig{Algorithm: "raycast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is a sync job, so by now the workload batch has been
+	// analyzed and its spans recorded.
+	if _, err := sess.Snapshot("cells", "val"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client recorded a root span for the workloads POST.
+	var clientTrace string
+	for _, sp := range c.Spans.Snapshot() {
+		if strings.Contains(sp.Name, "/workloads") {
+			clientTrace = sp.Trace
+		}
+	}
+	if clientTrace == "" {
+		t.Fatalf("client recorded no workloads span: %+v", c.Spans.Snapshot())
+	}
+
+	// The session's analysis spans carry the client's trace ID: the
+	// context crossed HTTP, the queue, and into the analyzer.
+	spans, err := sess.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analysisTraced, queueWait bool
+	for _, sp := range spans {
+		if sp.Cat == "analysis" && sp.Trace == clientTrace {
+			analysisTraced = true
+		}
+		if sp.Name == "queue.wait" {
+			queueWait = true
+			if sp.Trace == "" || sp.Parent == "" {
+				t.Errorf("queue.wait span not parented: %+v", sp)
+			}
+		}
+	}
+	if !analysisTraced {
+		t.Errorf("no analysis span carries the client trace %s", clientTrace)
+	}
+	if !queueWait {
+		t.Error("no queue.wait span recorded")
+	}
+
+	// The merged export parents analysis spans under the HTTP span.
+	raw, err := c.DebugTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+	var httpSpan string
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "http.workloads" && ev.Args["trace"] == clientTrace {
+			httpSpan = ev.Args["span"]
+		}
+	}
+	if httpSpan == "" {
+		t.Fatal("merged export has no http.workloads span for the client trace")
+	}
+	var children, queueChildren int
+	for _, ev := range doc.TraceEvents {
+		if ev.Args["parent"] != httpSpan {
+			continue
+		}
+		if ev.Cat == "analysis" {
+			children++
+		}
+		if ev.Name == "queue.wait" {
+			queueChildren++
+		}
+	}
+	if children == 0 {
+		t.Error("http.workloads span has no analysis children in the export")
+	}
+	if queueChildren != 1 {
+		t.Errorf("http.workloads span has %d queue.wait children, want 1", queueChildren)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerFailureRecorderDump injects a worker failure (declaring the
+// same region twice) and checks the flight-recorder contract: the
+// failure is journaled, the window is dumped to RecorderDir, the next
+// submit's 409 body carries the recent events and the dump path, and the
+// dump file parses back.
+func TestWorkerFailureRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	srv := server.New(server.Config{IdleTimeout: -1, RecorderDir: dir})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(t.Context()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	c := client.New(hs.URL)
+	c.RetryWait = 10 * time.Millisecond
+
+	sess, err := c.CreateSession(client.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+	// Same workload again: Apply rejects the duplicate region declaration
+	// on the worker, latching the session failure.
+	if err := sess.Submit(wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The failure lands asynchronously; the journal shows it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		events, err := c.DebugRecorder(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var failed bool
+		for _, e := range events {
+			if e.Kind == "worker_fail" {
+				failed = true
+			}
+		}
+		if failed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker_fail never journaled; events: %+v", events)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The next submit is refused with 409 carrying the recorder window
+	// and the on-disk dump path.
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, wire.ExampleQuickstart()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/sessions/"+sess.ID+"/workloads", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("submit to failed session returned %d, want 409", resp.StatusCode)
+	}
+	var body struct {
+		Error    string `json:"error"`
+		Recorder []struct {
+			Kind string `json:"kind"`
+		} `json:"recorder"`
+		RecorderDump string `json:"recorder_dump"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "already declared") {
+		t.Errorf("409 error = %q, want the duplicate-declaration failure", body.Error)
+	}
+	if len(body.Recorder) == 0 {
+		t.Error("409 body carries no recorder events")
+	}
+	if body.RecorderDump == "" {
+		t.Fatal("409 body carries no recorder dump path")
+	}
+
+	// The dump parses and holds the events leading up to the failure.
+	f, err := os.Open(body.RecorderDump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := recorder.ReadDump(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[recorder.Kind]int)
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[recorder.KindWorkerFail] == 0 {
+		t.Errorf("dump has no worker_fail event; kinds: %v", kinds)
+	}
+	if kinds[recorder.KindTaskLaunch] == 0 {
+		t.Errorf("dump has no task_launch events from the first batch; kinds: %v", kinds)
+	}
+}

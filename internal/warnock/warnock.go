@@ -17,6 +17,7 @@ import (
 	"visibility/internal/core"
 	"visibility/internal/field"
 	"visibility/internal/index"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 )
@@ -229,6 +230,7 @@ func (w *Warnock) refine(fs *fieldState, regionID int, sp index.Space) []*bnode 
 		w.nextToken++
 		b.id = w.nextToken
 		w.stats.SetsCreated += 2
+		w.opts.Recorder.Log(recorder.KindEqSplit, 2, int64(len(s.hist)))
 		w.opts.Probe.Touch(w.opts.Owner(s.pts), 2)
 		inside = append(inside, inLeaf)
 	}

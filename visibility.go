@@ -49,6 +49,7 @@ import (
 	"visibility/internal/graph"
 	"visibility/internal/index"
 	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 	"visibility/internal/sched"
@@ -143,6 +144,10 @@ type Config struct {
 	// each per-launch analysis (and trace record/replay/invalidate
 	// events). Nil disables span recording at zero cost.
 	Spans *obs.Buffer
+	// Recorder, when non-nil, is the flight-recorder ring journaling coarse
+	// runtime events: task launches, equivalence-set splits and coalesces,
+	// instance-cache outcomes. Nil disables journaling at zero cost.
+	Recorder *recorder.Recorder
 }
 
 // Runtime is an implicitly parallel runtime instance. Create regions and
@@ -546,7 +551,7 @@ func (rt *Runtime) freeze(ts *treeState) {
 		return
 	}
 	ts.frozen = true
-	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans}
+	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans, Recorder: rt.cfg.Recorder}
 	newAn, _ := algo.Lookup(rt.cfg.Algorithm)
 	an := newAn(ts.tree, opts)
 	if rt.cfg.Metrics != nil {
@@ -565,7 +570,7 @@ func (rt *Runtime) freeze(ts *treeState) {
 		an = ts.tracer
 	}
 	ts.stream = core.NewStream(ts.tree)
-	ts.exec = sched.NewExecutorMetrics(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics)
+	ts.exec = sched.NewExecutorObs(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics, rt.cfg.Recorder)
 	if rt.cfg.Validate {
 		ts.seq = core.NewSeq(ts.tree, ts.init)
 	}
