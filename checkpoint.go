@@ -1,10 +1,13 @@
 package visibility
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 
+	"visibility/internal/fault"
 	"visibility/internal/field"
 	"visibility/internal/geometry"
 	"visibility/internal/index"
@@ -17,6 +20,24 @@ import (
 type ckptFile struct {
 	Version int          `json:"version"`
 	Regions []ckptRegion `json:"regions"`
+	// Sum is the IEEE CRC-32 of the JSON encoding of Regions, in hex.
+	// Verified on restore when present, so corruption that changes any
+	// structural or value content is detected rather than silently
+	// restored; absent (omitempty) in checkpoints written before the field
+	// existed, which restore without the check.
+	Sum string `json:"sum,omitempty"`
+}
+
+// regionSum computes the Regions checksum stored in ckptFile.Sum. JSON
+// encoding is canonical for this purpose: map keys are sorted and float64
+// values use the shortest round-tripping representation, so
+// encode→decode→encode is byte-stable.
+func regionSum(regions []ckptRegion) (string, error) {
+	raw, err := json.Marshal(regions)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(raw)), nil
 }
 
 type ckptRegion struct {
@@ -122,8 +143,23 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 		}
 		file.Regions = append(file.Regions, cr)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&file)
+	sum, err := regionSum(file.Regions)
+	if err != nil {
+		return err
+	}
+	file.Sum = sum
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(&file); err != nil {
+		return err
+	}
+	out := buf.Bytes()
+	// Fault plane: corrupt the encoded bytes before they reach the writer,
+	// as a failing disk or wire would.
+	if fired, v := rt.cfg.Faults.FireValue(fault.CkptCorrupt, int64(len(out))); fired {
+		fault.FlipBit(out, v)
+	}
+	_, err = w.Write(out)
+	return err
 }
 
 // Restore builds a fresh runtime from a checkpoint: regions, fields,
@@ -131,12 +167,31 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 // and initial contents equal to the snapshot. It returns the root regions
 // by name.
 func Restore(rd io.Reader, cfg Config) (*Runtime, map[string]*Region, error) {
+	raw, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("visibility: reading checkpoint: %w", err)
+	}
+	// Fault plane: corrupt the bytes before decoding — the restore path
+	// must either round-trip (corruption landed in insignificant bytes) or
+	// error, never silently diverge; the checksum below enforces that.
+	if fired, v := cfg.Faults.FireValue(fault.RestoreCorrupt, int64(len(raw))); fired {
+		fault.FlipBit(raw, v)
+	}
 	var file ckptFile
-	if err := json.NewDecoder(rd).Decode(&file); err != nil {
+	if err := json.Unmarshal(raw, &file); err != nil {
 		return nil, nil, fmt.Errorf("visibility: decoding checkpoint: %w", err)
 	}
 	if file.Version != 1 {
 		return nil, nil, fmt.Errorf("visibility: unsupported checkpoint version %d", file.Version)
+	}
+	if file.Sum != "" {
+		sum, err := regionSum(file.Regions)
+		if err != nil {
+			return nil, nil, fmt.Errorf("visibility: re-encoding checkpoint for checksum: %w", err)
+		}
+		if sum != file.Sum {
+			return nil, nil, fmt.Errorf("visibility: checkpoint checksum mismatch (file %s, contents %s)", file.Sum, sum)
+		}
 	}
 	rt := New(cfg)
 	roots := make(map[string]*Region, len(file.Regions))

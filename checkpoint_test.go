@@ -2,10 +2,12 @@ package visibility_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
 	"visibility"
+	"visibility/internal/fault"
 )
 
 func TestCheckpointRestoreRoundTrip(t *testing.T) {
@@ -88,6 +90,176 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 	snap = rt2.Read(cells2, "a")
 	if v, _ := snap.Get(visibility.Pt(0)); v != 1 {
 		t.Errorf("post-restore launch: a[0] = %v, want 1", v)
+	}
+}
+
+// ckptFixture builds a checkpoint with structure worth corrupting — two
+// fields, a disjoint and an aliased partition, launched writes and a
+// reduction — and returns its bytes plus the coherent per-point contents
+// it encodes, keyed field → coordinate.
+func ckptFixture(t *testing.T) ([]byte, map[string]map[int64]float64) {
+	t.Helper()
+	rt := visibility.New(visibility.Config{})
+	defer rt.Close()
+	cells := rt.CreateRegion("cells", visibility.Line(0, 31), "a", "b")
+	cells.Init("b", func(p visibility.Point) float64 { return -float64(p.C[0]) })
+	blocks := cells.PartitionEqual("blocks", 4)
+	windows := cells.Partition("windows", []visibility.IndexSpace{
+		visibility.Line(4, 19), visibility.Line(12, 27),
+	})
+	for i := 0; i < 4; i++ {
+		rt.Launch(visibility.TaskSpec{
+			Name:     "w",
+			Accesses: []visibility.Access{visibility.Write(blocks.Sub(i), "a")},
+			Kernel: visibility.Kernel{Write: func(_ int, p visibility.Point, _ float64) float64 {
+				return float64(p.C[0] * p.C[0])
+			}},
+		})
+	}
+	rt.Launch(visibility.TaskSpec{
+		Name:     "bump",
+		Accesses: []visibility.Access{visibility.Reduce(visibility.OpSum, windows.Sub(0), "a")},
+		Kernel:   visibility.Kernel{Reduce: func(_ int, _ visibility.Point) float64 { return 1000 }},
+	})
+
+	var buf bytes.Buffer
+	if err := rt.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]map[int64]float64)
+	for _, f := range []string{"a", "b"} {
+		want[f] = make(map[int64]float64)
+		rt.Read(cells, f).Each(func(p visibility.Point, v float64) {
+			want[f][p.C[0]] = v
+		})
+	}
+	return buf.Bytes(), want
+}
+
+// tryRestore runs Restore under a panic guard: any panic is the bug the
+// truncation/corruption tests exist to catch. On success it checks the
+// restored contents equal the fixture's — the "round-trips or errors,
+// never silently diverges" contract — and closes the runtime.
+func tryRestore(t *testing.T, in []byte, want map[string]map[int64]float64, what string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Restore panicked on %s: %v", what, r)
+		}
+	}()
+	rt, roots, err := visibility.Restore(bytes.NewReader(in), visibility.Config{})
+	if err != nil {
+		return
+	}
+	defer rt.Close()
+	cells, ok := roots["cells"]
+	if !ok {
+		t.Fatalf("%s: restore succeeded but region is gone", what)
+	}
+	for f, pts := range want {
+		snap := rt.Read(cells, f)
+		for x, wv := range pts {
+			if v, ok := snap.Get(visibility.Pt(x)); !ok || v != wv {
+				t.Fatalf("%s: restore succeeded but %s[%d] = %v (ok=%v), want %v — silent divergence", what, f, x, v, ok, wv)
+			}
+		}
+	}
+}
+
+// TestRestoreTruncatedInput truncates a valid checkpoint at every byte
+// offset — generated, not hand-picked, so every field boundary in the
+// encoding is hit — and requires Restore to error (or fully round-trip,
+// for truncations that only drop trailing whitespace), never panic.
+func TestRestoreTruncatedInput(t *testing.T) {
+	ckpt, want := ckptFixture(t)
+	step := 1
+	if testing.Short() {
+		step = 17 // prime stride still lands on every kind of boundary
+	}
+	for off := 0; off < len(ckpt); off += step {
+		tryRestore(t, ckpt[:off], want, fmt.Sprintf("truncation at offset %d", off))
+	}
+}
+
+// TestRestoreBitFlipInput flips one bit in every byte of a valid
+// checkpoint (bit index rotating with the offset) and requires each
+// corrupted image to either restore to identical contents or error —
+// the checksum makes silent divergence structurally impossible.
+func TestRestoreBitFlipInput(t *testing.T) {
+	ckpt, want := ckptFixture(t)
+	step := 1
+	if testing.Short() {
+		step = 13
+	}
+	for off := 0; off < len(ckpt); off += step {
+		mut := append([]byte(nil), ckpt...)
+		mut[off] ^= 1 << (off % 8)
+		tryRestore(t, mut, want, "bit flip")
+	}
+}
+
+// TestCheckpointFaultPlaneCorruption drives the same property through the
+// fault plane's own corruption sites: an armed checkpoint.encode.flip
+// corrupts the written image, an armed checkpoint.restore.flip corrupts
+// the read image, and in both directions the restore must round-trip or
+// error. Ten seeds per site keep the flipped offset moving.
+func TestCheckpointFaultPlaneCorruption(t *testing.T) {
+	ckpt, want := ckptFixture(t)
+	for seed := int64(1); seed <= 10; seed++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: Restore panicked: %v", seed, r)
+				}
+			}()
+			inj, err := fault.NewFromString(fmt.Sprintf("seed=%d;checkpoint.restore.flip=every=1,max=1", seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, roots, err := visibility.Restore(bytes.NewReader(ckpt), visibility.Config{Faults: inj})
+			if inj.Fires(fault.RestoreCorrupt) != 1 {
+				t.Fatalf("seed %d: restore flip did not fire", seed)
+			}
+			if err != nil {
+				return
+			}
+			defer rt.Close()
+			for f, pts := range want {
+				snap := rt.Read(roots["cells"], f)
+				for x, wv := range pts {
+					if v, _ := snap.Get(visibility.Pt(x)); v != wv {
+						t.Fatalf("seed %d: corrupted restore silently diverged at %s[%d]", seed, f, x)
+					}
+				}
+			}
+		}()
+	}
+
+	// Encode-side: the corrupted image a faulty writer produces must be
+	// caught by the fault-free reader.
+	for seed := int64(1); seed <= 10; seed++ {
+		inj, err := fault.NewFromString(fmt.Sprintf("seed=%d;checkpoint.encode.flip=every=1,max=1", seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := visibility.New(visibility.Config{Faults: inj})
+		r := rt.CreateRegion("cells", visibility.Line(0, 15), "a", "b")
+		r.Fill("a", 3)
+		r.Init("b", func(p visibility.Point) float64 { return float64(p.C[0]) })
+		var buf bytes.Buffer
+		if err := rt.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rt.Close()
+		if inj.Fires(fault.CkptCorrupt) != 1 {
+			t.Fatalf("seed %d: encode flip did not fire", seed)
+		}
+		wantSmall := map[string]map[int64]float64{"a": {}, "b": {}}
+		for x := int64(0); x <= 15; x++ {
+			wantSmall["a"][x] = 3
+			wantSmall["b"][x] = float64(x)
+		}
+		tryRestore(t, buf.Bytes(), wantSmall, "encode-side flip")
 	}
 }
 

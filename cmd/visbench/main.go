@@ -17,9 +17,19 @@
 // -list prints the registered applications (with the paper figures they
 // reproduce), coherence algorithms, and system configurations, all drawn
 // from the shared registries.
+//
+// -chaos switches to the fault-injection crosscheck: each seed runs a
+// randomized task stream through all four analyzers and a simulated
+// cluster under an active fault plan, verifies the results against the
+// sequential ground truth, then replays the seed from its plan string and
+// requires a byte-identical flight-recorder dump:
+//
+//	visbench -chaos [-seeds 20] [-chaos-seed 1] [-chaos-plan "seed=1;..."]
+//	         [-chaos-tasks 24] [-chaos-nodes 4]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +37,7 @@ import (
 
 	"visibility/internal/algo"
 	"visibility/internal/apps"
+	"visibility/internal/fault"
 	"visibility/internal/harness"
 
 	// The app packages self-register with the apps registry.
@@ -46,11 +57,20 @@ func main() {
 	stats := flag.Bool("stats", false, "print analyzer operation counts per cell")
 	tracing := flag.Bool("tracing", false, "enable dynamic tracing (the paper disables it; see §8)")
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics snapshots as JSON to this file (\"-\" for stdout)")
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos crosscheck instead of the benchmarks")
+	seeds := flag.Int("seeds", 20, "with -chaos: number of consecutive seeds to run")
+	chaosSeed := flag.Int64("chaos-seed", 1, "with -chaos: first workload seed")
+	chaosPlan := flag.String("chaos-plan", "", "with -chaos: fault plan string (default: per-seed mixed plan)")
+	chaosTasks := flag.Int("chaos-tasks", 24, "with -chaos: tasks per stream")
+	chaosNodes := flag.Int("chaos-nodes", 4, "with -chaos: simulated cluster size for the distributed leg (0 disables)")
 	flag.Parse()
 
 	if *list {
 		printInventory()
 		return
+	}
+	if *chaos {
+		os.Exit(runChaos(*chaosSeed, *seeds, *chaosPlan, *chaosTasks, *chaosNodes))
 	}
 
 	var names []string
@@ -127,6 +147,56 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runChaos drives the chaos crosscheck over n consecutive seeds. Each
+// seed runs twice — once fresh and once replayed from the first run's
+// plan string — and the two flight-recorder dumps must match byte for
+// byte; a verification failure prints the plan string as the complete
+// reproduction recipe. Returns the process exit code.
+func runChaos(first int64, n int, plan string, tasks, nodes int) int {
+	if plan != "" {
+		if _, err := fault.Parse(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+			return 2
+		}
+	}
+	fmt.Printf("%-8s %-8s %-8s %-10s %-12s %s\n", "seed", "events", "fires", "makespan", "replay", "plan")
+	failed := 0
+	for i := 0; i < n; i++ {
+		seed := first + int64(i)
+		cfg := harness.ChaosConfig{Seed: seed, Plan: plan, Tasks: tasks, Nodes: nodes}
+		r, err := harness.RunChaos(cfg)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+			if r != nil {
+				fmt.Fprintf(os.Stderr, "visbench: reproduce with: visbench -chaos -seeds 1 -chaos-seed %d -chaos-plan %q\n", r.Seed, r.Plan)
+			}
+			continue
+		}
+		// Replay from the report's own plan string; the dump must not move.
+		r2, err := harness.RunChaos(harness.ChaosConfig{Seed: r.Seed, Plan: r.Plan, Tasks: tasks, Nodes: nodes})
+		replay := "identical"
+		if err != nil {
+			failed++
+			replay = "FAILED: " + err.Error()
+		} else if !bytes.Equal(r.Dump, r2.Dump) {
+			failed++
+			replay = fmt.Sprintf("DIVERGED (%d vs %d bytes)", len(r.Dump), len(r2.Dump))
+		}
+		var fires int64
+		for _, c := range r.Fires {
+			fires += c
+		}
+		fmt.Printf("%-8d %-8d %-8d %-10.3g %-12s %s\n", r.Seed, r.Events, fires, r.Makespan, replay, r.Plan)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "visbench: %d of %d chaos seeds failed\n", failed, n)
+		return 1
+	}
+	fmt.Printf("all %d chaos seeds verified and replayed byte-identically\n", n)
+	return 0
 }
 
 // printInventory enumerates everything the harness can run, pulled from

@@ -8,6 +8,12 @@
 // replay the graphsim workload against a server (an in-process one by
 // default, or -target URL), verify the results are deterministic across
 // tenants, and report admission statistics.
+//
+// With -fault <plan> the deterministic fault-injection plane is armed
+// for the whole process (worker crashes, admission bursts, checkpoint
+// corruption — see internal/fault for the site catalog and plan
+// grammar); every injection lands in the flight recorder, so a SIGQUIT
+// dump shows exactly which faults fired.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"visibility/internal/fault"
 	"visibility/internal/server"
 	"visibility/internal/server/client"
 	"visibility/internal/wire"
@@ -56,8 +63,16 @@ func run(args []string, stdout io.Writer) error {
 	recorderCap := fs.Int("recorder-cap", 0, "flight-recorder ring capacity (0 = server default)")
 	recorderDump := fs.String("recorder-dump", "", "directory for worker-failure recorder dumps (empty disables; SIGQUIT dumps fall back to the system temp dir)")
 	traceOut := fs.String("trace-out", "", "load mode: write the merged Perfetto trace export to this file")
+	faultPlan := fs.String("fault", "", "arm the fault-injection plane with this plan string (e.g. \"seed=1;server.worker.panic=every=1,max=1,arg=3\"); injections are journaled to the flight recorder")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var inj *fault.Injector
+	if *faultPlan != "" {
+		var err error
+		if inj, err = fault.NewFromString(*faultPlan); err != nil {
+			return err
+		}
 	}
 	cfg := server.Config{
 		MaxSessions: *maxSessions,
@@ -67,6 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		RecorderCap: *recorderCap,
 		RecorderDir: *recorderDump,
 		EnablePprof: *enablePprof,
+		Faults:      inj,
 	}
 	if *load > 0 {
 		return runLoad(stdout, cfg, *target, *load, *iterations, *traceOut)

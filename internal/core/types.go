@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"visibility/internal/fault"
 	"visibility/internal/field"
 	"visibility/internal/index"
 	"visibility/internal/obs"
@@ -230,6 +231,10 @@ type Options struct {
 	// events (task launches, equivalence-set splits/coalesces, cache
 	// outcomes). Nil disables journaling; every site is nil-safe.
 	Recorder *recorder.Recorder
+	// Faults is the deterministic fault-injection plane. Nil (the default,
+	// preserved by Normalize) disables every injection site at the cost of
+	// one pointer test.
+	Faults *fault.Injector
 }
 
 // Normalize fills in defaults for nil fields (Spans stays nil: a nil

@@ -18,6 +18,7 @@ import (
 	"visibility/internal/bvh"
 	"visibility/internal/cluster"
 	"visibility/internal/core"
+	"visibility/internal/fault"
 	"visibility/internal/geometry"
 	"visibility/internal/index"
 	"visibility/internal/obs"
@@ -58,6 +59,10 @@ type Config struct {
 	// Recorder, when non-nil, journals coarse analyzer events (set
 	// splits/coalesces) into the flight-recorder ring.
 	Recorder *flightrec.Recorder
+	// Faults, when non-nil, arms the analyzer-side fault-injection sites
+	// (forced equivalence-set splits and migrations) for the driven
+	// analysis; transport faults are armed on the Machine's own Config.
+	Faults *fault.Injector
 }
 
 // DefaultConfig returns cost-model constants calibrated so that a
@@ -164,7 +169,7 @@ func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, own
 		owner:        owner,
 		lastAnalysis: make(map[int]cluster.Ref),
 	}
-	opts := core.Options{Probe: d.probe, Owner: owner, Metrics: cfg.Metrics, Spans: cfg.Spans, Recorder: cfg.Recorder}.Normalize()
+	opts := core.Options{Probe: d.probe, Owner: owner, Metrics: cfg.Metrics, Spans: cfg.Spans, Recorder: cfg.Recorder, Faults: cfg.Faults}.Normalize()
 	d.metrics = opts.Metrics
 	d.localOps = d.metrics.NewHistogram("dist/launch_local_ops", 4, 16, 64, 256, 1024, 4096)
 	d.remotes = d.metrics.NewCounter("dist/remote_roundtrips")

@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"visibility/internal/obs/recorder"
+)
+
+func TestCatalogStable(t *testing.T) {
+	// The catalog index is journaled in recorder dumps; pin the mapping so
+	// an accidental reorder fails loudly.
+	want := []Site{
+		MsgDrop, MsgDelay, MsgDup, MsgReorder,
+		EqSplit, EqMigrate, CacheBypass,
+		WorkerPanic, AdmitBurst,
+		CkptCorrupt, RestoreCorrupt,
+	}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d sites, want %d", len(got), len(want))
+	}
+	for i, s := range want {
+		if got[i] != s {
+			t.Fatalf("catalog[%d] = %s, want %s", i, got[i], s)
+		}
+		if s.Index() != i {
+			t.Fatalf("%s.Index() = %d, want %d", s, s.Index(), i)
+		}
+		if SiteAt(i) != s {
+			t.Fatalf("SiteAt(%d) = %s, want %s", i, SiteAt(i), s)
+		}
+	}
+	if Site("bogus").Index() != -1 {
+		t.Fatalf("unknown site has catalog index %d", Site("bogus").Index())
+	}
+	if got := SiteAt(999); got != "site_999" {
+		t.Fatalf("SiteAt(999) = %q", got)
+	}
+}
+
+func TestPlanStringParseRoundTrip(t *testing.T) {
+	plans := []string{
+		"",
+		"seed=0",
+		"seed=42;analyzer.eqset.split=p=0.25",
+		"seed=-7;cluster.msg.drop=p=0.1,max=3;server.worker.panic=every=1,max=1,arg=5",
+		"seed=9;checkpoint.encode.flip=every=2,after=1;sched.cache.bypass=p=1",
+	}
+	for _, in := range plans {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		out := p.String()
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", in, out, err)
+		}
+		if p2.String() != out {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", in, out, p2.String())
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"seed=x", "bad seed"},
+		{"nonsense", "not <site>=<spec>"},
+		{"cluster.msg.bogus=p=1", "unknown site"},
+		{"cluster.msg.drop=p=2", "outside [0,1]"},
+		{"cluster.msg.drop=p=-0.5", "outside [0,1]"},
+		{"cluster.msg.drop=every=-1", "non-negative"},
+		{"cluster.msg.drop=max=1", "no trigger"},
+		{"cluster.msg.drop=arg=3", "no trigger"},
+		{"cluster.msg.drop=p=1;cluster.msg.drop=p=1", "duplicate rules"},
+		{"cluster.msg.drop=zap=1", "unknown clause key"},
+		{"cluster.msg.drop=arg=x", "not an integer"},
+		{"cluster.msg.drop=p", "not <k>=<v>"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Fire(EqSplit, 0) {
+		t.Fatal("nil injector fired")
+	}
+	if fired, _ := in.FireValue(EqSplit, 0); fired {
+		t.Fatal("nil injector fired")
+	}
+	in.Crash(WorkerPanic, 0) // must not panic
+	in.SetRecorder(nil)
+	if in.Fires(EqSplit) != 0 || in.Counts() != nil || in.String() != "" {
+		t.Fatal("nil injector leaked state")
+	}
+	if p := in.Plan(); p.Seed != 0 || len(p.Rules) != 0 {
+		t.Fatal("nil injector has a plan")
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	in, err := NewFromString("seed=1;analyzer.eqset.split=every=3,after=2,max=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 20; i++ {
+		if in.Fire(EqSplit, 0) {
+			fires = append(fires, i)
+		}
+	}
+	// after=2 skips evals 1-2; every=3 then fires on matching evals 5, 8,
+	// 11, ... ; max=2 caps at two fires.
+	if len(fires) != 2 || fires[0] != 5 || fires[1] != 8 {
+		t.Fatalf("fires at %v, want [5 8]", fires)
+	}
+	if in.Fires(EqSplit) != 2 {
+		t.Fatalf("Fires = %d, want 2", in.Fires(EqSplit))
+	}
+}
+
+func TestArgTargeting(t *testing.T) {
+	in, err := NewFromString("seed=1;server.worker.panic=every=1,max=1,arg=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluations with other args never fire and never advance counters,
+	// so the targeted arg fires on its first evaluation regardless of
+	// interleaving.
+	for i := int64(0); i < 10; i++ {
+		if in.Fire(WorkerPanic, i%5) {
+			t.Fatalf("fired for arg %d", i%5)
+		}
+	}
+	if !in.Fire(WorkerPanic, 5) {
+		t.Fatal("did not fire for targeted arg")
+	}
+	if in.Fire(WorkerPanic, 5) {
+		t.Fatal("fired past max")
+	}
+}
+
+func TestProbDeterministicAndSeedSensitive(t *testing.T) {
+	run := func(plan string) []bool {
+		in, err := NewFromString(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire(MsgDrop, int64(i))
+		}
+		return out
+	}
+	a := run("seed=7;cluster.msg.drop=p=0.3")
+	b := run("seed=7;cluster.msg.drop=p=0.3")
+	c := run("seed=8;cluster.msg.drop=p=0.3")
+	var fires, diff int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same plan diverged at eval %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if fires < 30 || fires > 90 {
+		t.Fatalf("p=0.3 over 200 evals fired %d times", fires)
+	}
+	if diff == 0 {
+		t.Fatal("seed change did not alter the fire sequence")
+	}
+}
+
+func TestSiteStreamsIndependent(t *testing.T) {
+	// Interleaving evaluations of another site must not perturb a site's
+	// own fire sequence.
+	seq := func(interleave bool) []bool {
+		in, err := NewFromString("seed=3;cluster.msg.drop=p=0.5;cluster.msg.dup=p=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 100)
+		for i := range out {
+			if interleave {
+				in.Fire(MsgDup, int64(i))
+			}
+			out[i] = in.Fire(MsgDrop, int64(i))
+		}
+		return out
+	}
+	plain, mixed := seq(false), seq(true)
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("site stream perturbed by sibling site at eval %d", i)
+		}
+	}
+}
+
+func TestFireJournalsToRecorder(t *testing.T) {
+	rec := recorder.NewClock(16, func() int64 { return 0 })
+	in, err := NewFromString("seed=1;checkpoint.encode.flip=every=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetRecorder(rec)
+	if !in.Fire(CkptCorrupt, 123) {
+		t.Fatal("every=1 did not fire")
+	}
+	events := rec.Snapshot()
+	if len(events) != 1 {
+		t.Fatalf("recorder holds %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Kind != recorder.KindFaultInject || SiteAt(int(e.A)) != CkptCorrupt || e.B != 123 {
+		t.Fatalf("journaled %+v", e)
+	}
+}
+
+func TestCrashPanics(t *testing.T) {
+	in, err := NewFromString("seed=1;server.worker.panic=every=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "injected crash at server.worker.panic") {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	in.Crash(WorkerPanic, 1)
+	t.Fatal("Crash did not panic")
+}
+
+func TestFlipBit(t *testing.T) {
+	FlipBit(nil, 99) // no-op on empty data
+	data := []byte{0, 0, 0, 0}
+	orig := append([]byte(nil), data...)
+	FlipBit(data, 1<<33|2)
+	if bytes.Equal(data, orig) {
+		t.Fatal("FlipBit changed nothing")
+	}
+	FlipBit(data, 1<<33|2)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("double flip did not restore")
+	}
+}
+
+func TestPlanCopyIsolation(t *testing.T) {
+	in, err := NewFromString("seed=1;cluster.msg.drop=p=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := in.Plan()
+	p.Rules[MsgDup] = Rule{Prob: 1}
+	if _, ok := in.Plan().Rules[MsgDup]; ok {
+		t.Fatal("Plan() exposed internal map")
+	}
+}

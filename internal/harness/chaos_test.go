@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"visibility/internal/fault"
+	"visibility/internal/obs/recorder"
+)
+
+// TestChaosReplayDeterministic is the replay property at the heart of the
+// fault plane: the same (workload seed, plan) pair must journal the
+// identical recorder dump byte for byte, including the distributed leg,
+// so a failing seed's plan string is a complete reproduction recipe. Runs
+// pairs concurrently so -race additionally checks the runs share nothing.
+func TestChaosReplayDeterministic(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 1001}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	var wg sync.WaitGroup
+	for _, seed := range seeds {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := ChaosConfig{Seed: seed, Nodes: 4}
+			a, err := RunChaos(cfg)
+			if err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+				return
+			}
+			b, err := RunChaos(cfg)
+			if err != nil {
+				t.Errorf("seed %d replay: %v", seed, err)
+				return
+			}
+			if !bytes.Equal(a.Dump, b.Dump) {
+				t.Errorf("seed %d: replay dump differs (%d vs %d bytes)", seed, len(a.Dump), len(b.Dump))
+				return
+			}
+			if a.Makespan != b.Makespan {
+				t.Errorf("seed %d: replay makespan differs (%g vs %g)", seed, a.Makespan, b.Makespan)
+			}
+			// The dump must parse back (VISFREC1 round trip) and every
+			// journaled injection must name a cataloged site, so dumps are
+			// interpretable post mortem.
+			events, dropped, err := recorder.ReadDump(bytes.NewReader(a.Dump))
+			if err != nil {
+				t.Errorf("seed %d: reading dump: %v", seed, err)
+				return
+			}
+			if dropped != 0 || len(events) != a.Events {
+				t.Errorf("seed %d: dump holds %d events (%d dropped), report says %d", seed, len(events), dropped, a.Events)
+			}
+			var injected int64
+			for _, e := range events {
+				if e.Kind == recorder.KindFaultInject {
+					injected++
+					if site := fault.SiteAt(int(e.A)); site.Index() < 0 {
+						t.Errorf("seed %d: dump names unknown fault site index %d", seed, e.A)
+					}
+				}
+			}
+			var fires int64
+			for _, n := range a.Fires {
+				fires += n
+			}
+			if injected != fires {
+				t.Errorf("seed %d: %d KindFaultInject events vs %d reported fires", seed, injected, fires)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestChaosPlanSensitivity checks the plan actually steers the run: a
+// different plan seed over the same workload must change the fault
+// schedule (otherwise the plan string is not the reproduction recipe it
+// claims to be).
+func TestChaosPlanSensitivity(t *testing.T) {
+	a, err := RunChaos(ChaosConfig{Seed: 1, Plan: DefaultChaosPlan(10), Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(ChaosConfig{Seed: 1, Plan: DefaultChaosPlan(11), Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Dump, b.Dump) {
+		t.Fatal("different plan seeds produced identical dumps")
+	}
+}
+
+// TestChaosExplicitPlan pins the targeted-rule path: a plan with a single
+// every= rule fires exactly its scheduled count.
+func TestChaosExplicitPlan(t *testing.T) {
+	r, err := RunChaos(ChaosConfig{Seed: 3, Plan: "seed=9;analyzer.eqset.split=every=5,max=3", Tasks: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Fires[fault.EqSplit]; got != 3 {
+		t.Fatalf("EqSplit fired %d times, want 3 (max)", got)
+	}
+}
+
+// TestChaosRejectsBadPlan covers the error path callers (visbench -chaos)
+// surface to users.
+func TestChaosRejectsBadPlan(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{Seed: 1, Plan: "seed=1;no.such.site=p=1"}); err == nil {
+		t.Fatal("bad plan accepted")
+	}
+}

@@ -204,6 +204,23 @@ func (s Space) Each(f func(geometry.Point) bool) {
 	}
 }
 
+// SplitAt partitions s into its first n points (in Each order) and the
+// remainder. n is clamped to [0, Volume()], so one side may be empty at
+// the extremes. The fault plane uses it to force equivalence-set splits
+// at deterministic positions.
+func (s Space) SplitAt(n int64) (Space, Space) {
+	if n <= 0 {
+		return Empty(s.dim), s
+	}
+	var head []geometry.Point
+	s.Each(func(p geometry.Point) bool {
+		head = append(head, p)
+		return int64(len(head)) < n
+	})
+	h := FromPoints(s.dim, head...)
+	return h, s.Subtract(h)
+}
+
 // Key returns a compact string uniquely identifying the point set; equal
 // spaces (by Equal) have equal keys. Useful as a map key for memoization.
 func (s Space) Key() string {

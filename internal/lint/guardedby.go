@@ -37,7 +37,7 @@ var Guardedby = &Analyzer{
 	Doc:  "report accesses to '// guarded by <mu>' fields without the guard held",
 	Match: func(path string) bool {
 		switch pkgTail(path) {
-		case "sched", "event", "cluster", "harness", "obs", "server":
+		case "sched", "event", "cluster", "harness", "obs", "server", "fault":
 			return true
 		}
 		return false

@@ -47,6 +47,7 @@ func TestMatchPolicies(t *testing.T) {
 		{Guardedby, "visibility/internal/event", true},
 		{Guardedby, "visibility/internal/cluster", true},
 		{Guardedby, "visibility/internal/harness", true},
+		{Guardedby, "visibility/internal/fault", true},
 		{Guardedby, "visibility/internal/core", false},
 		{Detrange, "visibility/internal/paint", true},
 		{Detrange, "visibility/internal/warnock", true},

@@ -47,12 +47,13 @@ const (
 	KindWorkerFail        // A=session seq; the session latched a failure
 	KindSessionOpen       // A=session seq
 	KindSessionClose      // A=session seq
+	KindFaultInject       // A=fault site catalog index (fault.SiteAt), B=site-specific argument
 )
 
 var kindNames = [...]string{
 	"none", "task_launch", "eq_split", "eq_coalesce", "cache_hit",
 	"cache_miss", "admit_reject", "job_start", "job_done", "worker_fail",
-	"session_open", "session_close",
+	"session_open", "session_close", "fault_inject",
 }
 
 // String returns the kind's snake_case name ("kind_NN" for unknown

@@ -75,8 +75,8 @@ func TestKindString(t *testing.T) {
 	if got := Kind(200).String(); got != "kind_200" {
 		t.Errorf("unknown kind = %q", got)
 	}
-	if len(kindNames) != int(KindSessionClose)+1 {
-		t.Errorf("kindNames has %d entries for %d kinds", len(kindNames), KindSessionClose+1)
+	if len(kindNames) != int(KindFaultInject)+1 {
+		t.Errorf("kindNames has %d entries for %d kinds", len(kindNames), KindFaultInject+1)
 	}
 }
 

@@ -1,6 +1,8 @@
 package paint
 
 import (
+	"sort"
+
 	"visibility/internal/core"
 	"visibility/internal/field"
 	"visibility/internal/index"
@@ -167,6 +169,20 @@ func (pa *Painter) Analyze(t *core.Task) *core.Result {
 		if req.Priv.IsReduce() {
 			plan = nil
 		}
+		// Path order concatenates per-node histories, so entries from
+		// hoisted views can interleave out of program order. That is legal
+		// for non-interfering operations in exact arithmetic, but two
+		// same-op reductions over the same points applied in a different
+		// order than the sequential interpreter differ in the last ulp for
+		// float sum/product. Restoring global program order (stable on
+		// task, then requirement) keeps interfering pairs where the history
+		// already put them and makes materialization byte-exact.
+		sort.SliceStable(plan, func(i, j int) bool {
+			if plan[i].Task != plan[j].Task {
+				return plan[i].Task < plan[j].Task
+			}
+			return plan[i].Req < plan[j].Req
+		})
 		plans[ri] = plan
 	}
 

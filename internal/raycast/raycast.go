@@ -21,6 +21,7 @@ import (
 
 	"visibility/internal/bvh"
 	"visibility/internal/core"
+	"visibility/internal/fault"
 	"visibility/internal/field"
 	"visibility/internal/index"
 	"visibility/internal/obs/recorder"
@@ -309,6 +310,25 @@ func (rc *RayCast) refine(fs *fieldState, sp index.Space) []*eqset {
 	for _, s := range rc.candidates(fs, sp) {
 		rc.stats.OverlapTests++
 		if sp.Covers(s.pts) {
+			// Fault plane: force a refinement the analysis did not need.
+			// Both fragments carry the full history, so the split is
+			// semantics-preserving — it only breaks code that secretly
+			// depends on covered sets staying whole.
+			if vol := s.pts.Volume(); vol > 1 {
+				if fired, v := rc.opts.Faults.FireValue(fault.EqSplit, vol); fired {
+					a, b := s.pts.SplitAt(1 + int64(v%uint64(vol-1)))
+					in := &eqset{pts: a, hist: append([]core.Entry(nil), s.hist...), bucket: s.bucket}
+					out := &eqset{pts: b, hist: s.hist, bucket: s.bucket}
+					s.dead = true
+					rc.remove(fs, s)
+					rc.insert(fs, in)
+					rc.insert(fs, out)
+					rc.stats.SetsCreated += 2
+					rc.opts.Recorder.Log(recorder.KindEqSplit, 2, int64(len(s.hist)))
+					inside = append(inside, in, out)
+					continue
+				}
+			}
 			inside = append(inside, s)
 			continue
 		}
@@ -354,6 +374,30 @@ func (rc *RayCast) maybeMigrate(fs *fieldState, r *region.Region) {
 	}
 }
 
+// forceMigrate is the EqMigrate fault action: rebuild the acceleration
+// structure mid-stream without waiting for the migration heuristic — odd
+// payloads abandon the current partition for the K-d fallback, even ones
+// re-bucket against the same partition — exercising the §7.1 migration
+// path under an adversarial schedule.
+func (rc *RayCast) forceMigrate(fs *fieldState, payload uint64) {
+	var all []*eqset
+	if fs.dcp == nil {
+		for _, id := range sortedIntKeys(fs.kdSets) {
+			all = append(all, fs.kdSets[id])
+		}
+		rc.installAccel(fs, nil, all)
+		return
+	}
+	for _, b := range fs.buckets {
+		all = append(all, b...)
+	}
+	if payload&1 == 1 {
+		rc.installAccel(fs, nil, all)
+	} else {
+		rc.installAccel(fs, fs.dcp, all)
+	}
+}
+
 // Analyze implements core.Analyzer.
 func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 	span := rc.opts.Spans.Begin("raycast.analyze", "analysis")
@@ -366,6 +410,9 @@ func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 	for ri, req := range t.Reqs {
 		fs := rc.fieldFor(req.Field, req.Region)
 		rc.maybeMigrate(fs, req.Region)
+		if fired, v := rc.opts.Faults.FireValue(fault.EqMigrate, int64(t.ID)); fired {
+			rc.forceMigrate(fs, v)
+		}
 		inside := rc.refine(fs, req.Region.Space)
 		insides[ri] = inside
 		var plan []core.Visible

@@ -14,6 +14,7 @@ import (
 	"visibility/internal/core"
 	"visibility/internal/data"
 	"visibility/internal/event"
+	"visibility/internal/fault"
 	"visibility/internal/field"
 	"visibility/internal/geometry"
 	"visibility/internal/obs"
@@ -55,6 +56,11 @@ type Executor struct {
 
 	// Flight recorder for coarse event journaling (nil-safe).
 	rec *recorder.Recorder
+
+	// Fault-injection plane (nil-safe): CacheBypass forces instance-cache
+	// misses, exercising the invariant that the cache is a pure
+	// optimization.
+	faults *fault.Injector
 }
 
 type commitKey struct {
@@ -84,6 +90,12 @@ func NewExecutorMetrics(tree *region.Tree, an core.Analyzer, init map[field.ID]*
 // NewExecutorObs is NewExecutorMetrics that also journals task launches
 // and instance-cache outcomes into rec (nil disables journaling).
 func NewExecutorObs(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int, metrics *obs.Registry, rec *recorder.Recorder) *Executor {
+	return NewExecutorFault(tree, an, init, workers, metrics, rec, nil)
+}
+
+// NewExecutorFault is NewExecutorObs with a fault-injection plane wired
+// into the scheduler's sites (nil disables them).
+func NewExecutorFault(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int, metrics *obs.Registry, rec *recorder.Recorder, faults *fault.Injector) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
@@ -103,6 +115,7 @@ func NewExecutorObs(tree *region.Tree, an core.Analyzer, init map[field.ID]*data
 		cacheHits: metrics.NewCounter("sched/cache/hits"),
 		cacheMiss: metrics.NewCounter("sched/cache/misses"),
 		rec:       rec,
+		faults:    faults,
 	}
 	for f, s := range init {
 		x.init[f] = s.Clone()
@@ -221,8 +234,12 @@ func planSignature(plan []core.Visible) string {
 
 func (x *Executor) materialize(req core.Req, plan []core.Visible) *data.Store {
 	key := instanceKey{field: req.Field, space: req.Region.Space.Key(), plan: planSignature(plan)}
+	// Fault plane: a CacheBypass fire skips the lookup, forcing a fresh
+	// materialization of contents the cache already holds — correctness
+	// must not depend on instance reuse.
+	bypass := x.faults.Fire(fault.CacheBypass, int64(req.Field))
 	x.mu.Lock()
-	if st, ok := x.instances[key]; ok {
+	if st, ok := x.instances[key]; ok && !bypass {
 		x.mu.Unlock()
 		x.cacheHits.Inc()
 		x.rec.Log(recorder.KindCacheHit, int64(req.Field), 0)

@@ -1,0 +1,203 @@
+package server_test
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"visibility/internal/fault"
+	"visibility/internal/server"
+	"visibility/internal/server/client"
+	"visibility/internal/wire"
+)
+
+// tenantRows runs n sequentially created sessions through the same
+// workload and returns each tenant's snapshot of N/up as marshaled JSON
+// (sequential creation pins session seq numbers 1..n, which is what lets
+// a fault plan target one tenant deterministically). A nil error slot
+// means the tenant completed; the caller decides which errors are
+// expected.
+func tenantRows(t *testing.T, c *client.Client, n int) ([][]byte, []*client.Session, []error) {
+	t.Helper()
+	wl := wire.ExampleGraphsim(3)
+	rows := make([][]byte, n)
+	sessions := make([]*client.Session, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		sess, err := c.CreateSession(client.SessionConfig{})
+		if err != nil {
+			t.Fatalf("creating session %d: %v", i, err)
+		}
+		sessions[i] = sess
+		if err := sess.Submit(wl); err != nil {
+			errs[i] = err
+			continue
+		}
+		got, err := sess.Snapshot("N", "up")
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		rows[i], err = json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rows, sessions, errs
+}
+
+// TestChaosWorkerKillIsolation kills one tenant's worker mid-stream with
+// a targeted fault plan (server.worker.panic pinned to session seq 5 via
+// arg=) and requires blast-radius isolation: the victim latches 409, the
+// other seven tenants' snapshots are byte-identical to a fault-free run,
+// and shutdown leaves no goroutines behind.
+func TestChaosWorkerKillIsolation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	const tenants = 8
+	const victim = 5 // session seq, 1-based
+
+	// Fault-free baseline.
+	_, c0, shutdown0 := newTestServer(t, server.Config{})
+	want, sessions, errs := tenantRows(t, c0, tenants)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fault-free tenant %d: %v", i, err)
+		}
+	}
+	for _, s := range sessions {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shutdown0()
+
+	// Same workloads with the victim's first job crashed.
+	inj, err := fault.NewFromString("seed=1;server.worker.panic=every=1,max=1,arg=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c, shutdown := newTestServer(t, server.Config{Faults: inj})
+	got, sessions, errs := tenantRows(t, c, tenants)
+
+	for i := 0; i < tenants; i++ {
+		seq := i + 1
+		if seq == victim {
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("tenant seq %d caught in victim's blast radius: %v", seq, errs[i])
+		}
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("tenant seq %d snapshot diverges from fault-free run\nfaulted:   %s\nfault-free: %s", seq, got[i], want[i])
+		}
+	}
+	if n := inj.Fires(fault.WorkerPanic); n != 1 {
+		t.Fatalf("worker panic fired %d times, want exactly 1", n)
+	}
+
+	// The victim's crashed job never applied its workload, and the crash is
+	// latched: the next submission must be refused with 409, not retried
+	// into a half-built session.
+	if err := sessions[victim-1].Submit(wire.ExampleQuickstart()); err == nil {
+		t.Fatal("failed session accepted another workload")
+	} else if se, ok := err.(*client.StatusError); !ok || se.Code != 409 {
+		t.Fatalf("failed-session submit error = %v, want 409", err)
+	}
+
+	for _, s := range sessions {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := srv.SessionCount(); n != 0 {
+		t.Fatalf("%d sessions remain after close", n)
+	}
+	if n := srv.InFlight(); n != 0 {
+		t.Fatalf("%d jobs in flight after close", n)
+	}
+	shutdown()
+
+	// Leak ledger: the victim's worker goroutine died by panic recovery,
+	// not by leaking; everything unwinds.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosAdmissionBurst arms the synthetic admission-pressure site on a
+// deterministic schedule and checks the overload contract end to end:
+// scheduled requests bounce with 429, the rejection is counted, nothing
+// is admitted half-way (no in-flight leak), and once the burst schedule
+// is exhausted every request succeeds again.
+func TestChaosAdmissionBurst(t *testing.T) {
+	inj, err := fault.NewFromString("seed=2;server.admit.burst=every=2,max=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c, shutdown := newTestServer(t, server.Config{Faults: inj})
+	defer shutdown()
+	c.MaxRetries = 0 // surface every 429 instead of retrying through it
+
+	sess, err := c.CreateSession(client.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submission 1 declares the quickstart regions; later submissions are
+	// task-only batches so a replay of the same stream stays well-formed.
+	batch := &wire.Workload{
+		Version: wire.Version,
+		Tasks: []wire.TaskDecl{{
+			Name: "poke",
+			Accesses: []wire.AccessDecl{{
+				Region: "blocks[0]", Field: "val", Privilege: "write",
+				Kernel: &wire.FuncSpec{Name: "fill", Args: map[string]float64{"value": 2}},
+			}},
+		}},
+	}
+
+	// every=2,max=3 rejects admissions 2, 4 and 6; all others pass.
+	var got []int
+	for i := 1; i <= 8; i++ {
+		wl := batch
+		if i == 1 {
+			wl = wire.ExampleQuickstart()
+		}
+		err := sess.Submit(wl)
+		switch se, ok := err.(*client.StatusError); {
+		case err == nil:
+		case ok && se.Code == 429:
+			got = append(got, i)
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if n := srv.InFlight(); n < 0 {
+			t.Fatalf("in-flight went negative after submit %d", i)
+		}
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("burst rejected admissions %v, want [2 4 6]", got)
+	}
+
+	// The burst schedule is spent: a snapshot (sync admission) works, and
+	// the session is healthy — nothing was half-admitted.
+	if _, err := sess.Snapshot("cells", "val"); err != nil {
+		t.Fatalf("post-burst snapshot: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight jobs never drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"visibility"
 	"visibility/internal/algo"
+	"visibility/internal/fault"
 	"visibility/internal/obs"
 	"visibility/internal/obs/recorder"
 	"visibility/internal/wire"
@@ -51,6 +52,12 @@ type Config struct {
 	RecorderDir string
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Faults, when non-nil, arms the deterministic fault-injection plane
+	// across the service: worker panics and admission rejections at the
+	// serving layer, plus every runtime site (analyzer splits, cache
+	// bypasses, checkpoint corruption) in the sessions it creates. Fires
+	// are journaled to the server's flight recorder.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +126,7 @@ func New(cfg Config) *Server {
 	}
 	srv.spans = obs.NewBufferClock(srv.cfg.SpanCap, clock)
 	srv.rec = recorder.NewClock(srv.cfg.RecorderCap, clock)
+	srv.cfg.Faults.SetRecorder(srv.rec)
 	srv.active = srv.metrics.NewGauge("server/sessions/active")
 	srv.rejected = srv.metrics.NewCounter("server/admission/rejected")
 	srv.routes()
@@ -209,6 +217,7 @@ func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg v
 		Metrics:   metrics,
 		Spans:     spans,
 		Recorder:  srv.rec,
+		Faults:    srv.cfg.Faults,
 	}
 	rt, env, err := seed(cfg)
 	if err != nil {
@@ -310,6 +319,13 @@ const (
 
 // submit admits a job globally, then to the session queue.
 func (srv *Server) submit(s *session, j job) error {
+	// Fault plane: an AdmitBurst fire rejects as if the global in-flight
+	// cap were hit, simulating overload pressure against this session.
+	if srv.cfg.Faults.Fire(fault.AdmitBurst, s.seq) {
+		srv.rejected.Inc()
+		srv.rec.Log(recorder.KindAdmitReject, s.seq, rejectGlobalCap)
+		return errOverload
+	}
 	if err := srv.admit(); err != nil {
 		srv.rejected.Inc()
 		srv.rec.Log(recorder.KindAdmitReject, s.seq, rejectGlobalCap)

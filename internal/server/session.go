@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"visibility"
+	"visibility/internal/fault"
 	"visibility/internal/obs"
 	"visibility/internal/obs/recorder"
 	"visibility/internal/wire"
@@ -97,7 +98,13 @@ func (s *session) run() {
 			s.spans.SetContext(j.tc)
 		}
 		s.srv.rec.Log(recorder.KindJobStart, s.seq, 0)
-		s.exec(j.fn)
+		s.exec(func() {
+			// Fault plane: an injected crash mid-job takes exactly the path
+			// a real kernel panic would — recovered by exec, latched as the
+			// session failure.
+			s.srv.cfg.Faults.Crash(fault.WorkerPanic, s.seq)
+			j.fn()
+		})
 		s.srv.rec.Log(recorder.KindJobDone, s.seq, 0)
 		if j.tc.Valid() {
 			s.spans.SetContext(obs.TraceContext{})

@@ -15,6 +15,7 @@ package warnock
 
 import (
 	"visibility/internal/core"
+	"visibility/internal/fault"
 	"visibility/internal/field"
 	"visibility/internal/index"
 	"visibility/internal/obs/recorder"
@@ -210,6 +211,27 @@ func (w *Warnock) refine(fs *fieldState, regionID int, sp index.Space) []*bnode 
 		w.opts.Probe.Touch(w.opts.Owner(s.pts), 1)
 		w.stats.OverlapTests++
 		if sp.Covers(s.pts) {
+			// Fault plane: force a refinement the analysis did not need.
+			// Both fragments carry the full history, so the split is
+			// semantics-preserving — it only breaks code that secretly
+			// depends on covered sets staying whole.
+			if vol := s.pts.Volume(); vol > 1 {
+				if fired, v := w.opts.Faults.FireValue(fault.EqSplit, vol); fired {
+					fp, rp := s.pts.SplitAt(1 + int64(v%uint64(vol-1)))
+					w.nextToken++
+					inLeaf := &bnode{pts: fp, set: &eqset{pts: fp, hist: append([]core.Entry(nil), s.hist...)}, owner: w.opts.Owner(fp), id: w.nextToken}
+					w.nextToken++
+					outLeaf := &bnode{pts: rp, set: &eqset{pts: rp, hist: s.hist}, owner: w.opts.Owner(rp), id: w.nextToken}
+					b.set = nil
+					b.children = []*bnode{inLeaf, outLeaf}
+					w.nextToken++
+					b.id = w.nextToken
+					w.stats.SetsCreated += 2
+					w.opts.Recorder.Log(recorder.KindEqSplit, 2, int64(len(s.hist)))
+					inside = append(inside, inLeaf, outLeaf)
+					continue
+				}
+			}
 			inside = append(inside, b)
 			continue
 		}

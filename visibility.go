@@ -44,6 +44,7 @@ import (
 	"visibility/internal/data"
 	"visibility/internal/deppart"
 	"visibility/internal/event"
+	"visibility/internal/fault"
 	"visibility/internal/field"
 	"visibility/internal/geometry"
 	"visibility/internal/graph"
@@ -148,6 +149,11 @@ type Config struct {
 	// runtime events: task launches, equivalence-set splits and coalesces,
 	// instance-cache outcomes. Nil disables journaling at zero cost.
 	Recorder *recorder.Recorder
+	// Faults, when non-nil, arms the deterministic fault-injection plane:
+	// forced equivalence-set splits and migrations in the analyzer,
+	// instance-cache bypasses in the scheduler, and bit-flip corruption on
+	// checkpoint encode/restore. Nil (the default) disables every site.
+	Faults *fault.Injector
 }
 
 // Runtime is an implicitly parallel runtime instance. Create regions and
@@ -551,7 +557,7 @@ func (rt *Runtime) freeze(ts *treeState) {
 		return
 	}
 	ts.frozen = true
-	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans, Recorder: rt.cfg.Recorder}
+	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans, Recorder: rt.cfg.Recorder, Faults: rt.cfg.Faults}
 	newAn, _ := algo.Lookup(rt.cfg.Algorithm)
 	an := newAn(ts.tree, opts)
 	if rt.cfg.Metrics != nil {
@@ -570,7 +576,7 @@ func (rt *Runtime) freeze(ts *treeState) {
 		an = ts.tracer
 	}
 	ts.stream = core.NewStream(ts.tree)
-	ts.exec = sched.NewExecutorObs(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics, rt.cfg.Recorder)
+	ts.exec = sched.NewExecutorFault(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics, rt.cfg.Recorder, rt.cfg.Faults)
 	if rt.cfg.Validate {
 		ts.seq = core.NewSeq(ts.tree, ts.init)
 	}
