@@ -100,6 +100,8 @@ func decodeSpace(dim int, rows [][]int64) (IndexSpace, error) {
 // every region tree — structure and data — to w. The runtime remains
 // usable afterwards (the reads participate in dependence analysis like
 // any other task).
+//
+// confined to runtime-owner
 func (rt *Runtime) Checkpoint(w io.Writer) error {
 	rt.Wait()
 	file := ckptFile{Version: 1}

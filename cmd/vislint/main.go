@@ -3,28 +3,45 @@
 //
 // Usage:
 //
-//	go run ./cmd/vislint [-run name,name] [-list] [packages]
+//	go run ./cmd/vislint [-run name,name] [-list] [-json] [packages]
 //
 // With no package patterns it checks ./... . It exits 0 when the tree is
 // clean, 1 when any analyzer reports a diagnostic, and 2 when loading or
-// analysis itself fails. Individual findings can be suppressed — with a
-// reason — by a "//vislint:ignore <analyzer> <why>" comment on or above
-// the offending line.
+// analysis itself fails. Individual findings can be suppressed with a
+// "//lint:allow <analyzer> <rationale>" comment on or above the offending
+// line; the rationale is mandatory. (The older "//vislint:ignore" spelling
+// is still honored.)
+//
+// -json emits machine-readable output for CI: a single JSON object with a
+// "findings" array of {file, line, col, analyzer, message}, sorted by
+// position, with file paths relative to the working directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"visibility/internal/lint"
 )
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
 		runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 		list     = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON (file/line/col/analyzer/message)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vislint [flags] [packages]\n\n")
@@ -73,8 +90,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vislint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		cwd, _ := os.Getwd()
+		out := struct {
+			Findings []finding `json:"findings"`
+			Count    int       `json:"count"`
+		}{Findings: []finding{}, Count: len(diags)}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			out.Findings = append(out.Findings, finding{
+				File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vislint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "vislint: %d finding(s)\n", len(diags))

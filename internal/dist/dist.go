@@ -80,15 +80,23 @@ func DefaultConfig(dcr bool) Config {
 
 // Driver runs launches through an analyzer onto a machine.
 type Driver struct {
-	m   *cluster.Machine
+	m *cluster.Machine
+	// an is the driven dependence analyzer; Launch runs it in program
+	// order on the driving goroutine (§3.2).
+	//
+	// confined to analyzer
 	an  core.Analyzer
 	cfg Config
 
-	probe    *recorder
+	// confined to analyzer
+	probe *recorder
+	// confined to analyzer
 	taskDone map[int]cluster.Ref
+	// confined to analyzer
 	taskNode map[int]int
 	owner    core.OwnerFunc
-	all      []cluster.Ref
+	// confined to analyzer
+	all []cluster.Ref
 
 	metrics  *obs.Registry
 	localOps *obs.Histogram // per-launch analysis ops on the analyzing node
@@ -96,6 +104,8 @@ type Driver struct {
 
 	// lastAnalysis orders each shard's analysis in program order: a
 	// dynamic dependence analysis observes launches sequentially (§3.2).
+	//
+	// confined to analyzer
 	lastAnalysis map[int]cluster.Ref
 }
 
@@ -159,6 +169,8 @@ type NewAnalyzerFunc func(tree *region.Tree, opts core.Options) core.Analyzer
 // with state ownership assigned by owner. The analyzer's operation
 // counters are published on the driver's metrics registry (cfg.Metrics,
 // or a private one) under "analyzer/".
+//
+// confined to analyzer
 func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, owner core.OwnerFunc, cfg Config) *Driver {
 	d := &Driver{
 		m:            m,
@@ -179,6 +191,8 @@ func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, own
 }
 
 // Analyzer returns the driven analyzer (for stats inspection).
+//
+// confined to analyzer
 func (d *Driver) Analyzer() core.Analyzer { return d.an }
 
 // Metrics returns the driver's metrics registry: the analyzer's counters,
@@ -188,6 +202,8 @@ func (d *Driver) Metrics() *obs.Registry { return d.metrics }
 
 // Launch analyzes t and schedules its execution on execNode for dur
 // seconds of virtual time. It returns the completion reference.
+//
+// confined to analyzer
 func (d *Driver) Launch(t *core.Task, execNode int, dur cluster.Time) cluster.Ref {
 	analysisNode := 0
 	if d.cfg.DCR {
@@ -293,6 +309,8 @@ func (d *Driver) producer(v core.Visible) (int, cluster.Ref) {
 // Barrier returns the virtual time at which every launch so far has
 // completed — an execution fence, used to delimit the initialization and
 // steady-state measurement phases.
+//
+// confined to analyzer
 func (d *Driver) Barrier() cluster.Time {
 	return d.m.TimeOf(d.m.AfterAll(d.all...))
 }

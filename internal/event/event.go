@@ -86,6 +86,10 @@ type Processor struct {
 }
 
 type work struct {
+	// f is the deferred work body; it runs only on the processor
+	// goroutine (w.f() in run), Spawn wraps it before the handoff.
+	//
+	// confined to event-proc
 	f    func()
 	done *Event
 }
@@ -98,6 +102,10 @@ func NewProcessor(depth int) *Processor {
 	return p
 }
 
+// run is the processor loop; all queued work bodies execute here, in
+// submission order.
+//
+// confined to event-proc
 func (p *Processor) run() {
 	defer p.wg.Done()
 	for {
@@ -122,6 +130,8 @@ func (p *Processor) run() {
 
 // Spawn schedules f to run on the processor once pre has triggered and
 // returns f's completion event. A nil pre means no precondition.
+//
+//confined:callbacks event-proc
 func (p *Processor) Spawn(pre *Event, f func()) *Event {
 	done := NewUserEvent()
 	enqueue := func() { p.queue <- work{f: f, done: done} }

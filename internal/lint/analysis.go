@@ -11,16 +11,20 @@ import (
 )
 
 // Analyzer is one static check, mirroring golang.org/x/tools/go/analysis
-// in miniature.
+// in miniature. Exactly one of Run and RunModule is set: Run analyzers see
+// one package at a time, RunModule analyzers (confined, dettaint) see the
+// whole module at once, because their properties — goroutine confinement,
+// taint from source to sink — cross package boundaries.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Match restricts which packages the driver runs this analyzer on
 	// (nil means every package). It receives the import path with any
 	// "_test" suffix stripped, so an analyzer scoped to a package also
-	// covers its external tests.
-	Match func(pkgPath string) bool
-	Run   func(*Pass) error
+	// covers its external tests. Ignored for RunModule analyzers.
+	Match     func(pkgPath string) bool
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzer run over one package.
@@ -55,20 +59,50 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in reporting order.
-func All() []*Analyzer {
-	return []*Analyzer{Interferecheck, Guardedby, Detrange, Errchecklite}
+// ModulePass carries one module-scope analyzer run over every loaded
+// package at once. Module analyzers must key functions, types, and fields
+// by string identity (package path, type name, member name) rather than
+// types.Object identity: a package and its test variant are type-checked
+// separately, so the "same" declaration appears as distinct objects.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags []Diagnostic
 }
 
-// Run applies every matching analyzer to every package, filters
-// directive-suppressed findings, and returns the remainder sorted by
-// position.
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Interferecheck, Guardedby, Detrange, Errchecklite, Confined, Dettaint}
+}
+
+// Run applies every matching analyzer to every package (and every module
+// analyzer to the module as a whole), filters directive-suppressed
+// findings, and returns the remainder sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
+	allIg := make(ignores)
 	for _, pkg := range pkgs {
 		ig := collectIgnores(pkg)
+		for k, v := range ig {
+			allIg[k] = v
+		}
+		out = append(out, directiveDiags(pkg)...)
 		matchPath := strings.TrimSuffix(pkg.Path, "_test")
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Match != nil && !a.Match(matchPath) {
 				continue
 			}
@@ -81,6 +115,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			for _, d := range pass.diags {
 				if !ig.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			mp := &ModulePass{Analyzer: a, Fset: pkgs[0].Fset, Pkgs: pkgs}
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("lint: %s (module): %w", a.Name, err)
+			}
+			for _, d := range mp.diags {
+				if !allIg.suppressed(d) {
 					out = append(out, d)
 				}
 			}
@@ -105,35 +155,73 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // ignoreDirective matches "//vislint:ignore name[,name...] [reason]".
 var ignoreDirective = regexp.MustCompile(`^//vislint:ignore\s+([\w,]+)`)
 
+// allowDirective matches "//lint:allow name[,name...] rationale". Unlike
+// vislint:ignore, the rationale is mandatory: an allow without one is
+// itself a (non-suppressible) finding, so every escape hatch in the tree
+// records why it is sound.
+var allowDirective = regexp.MustCompile(`^//lint:allow\s+([\w,]+)[ \t]*(.*)$`)
+
 // ignores maps file:line to the analyzer names suppressed there.
 type ignores map[string]map[string]bool
 
-// collectIgnores scans a package's comments for vislint:ignore directives.
-// A directive suppresses matching diagnostics on its own line and on the
-// following line (so it can sit above a statement or trail it).
+// collectIgnores scans a package's comments for vislint:ignore and
+// lint:allow directives. A directive suppresses matching diagnostics on
+// its own line and on the following line (so it can sit above a statement
+// or trail it). lint:allow directives missing a rationale suppress
+// nothing; directiveDiags reports them.
 func collectIgnores(pkg *Package) ignores {
 	ig := make(ignores)
+	add := func(pos token.Position, names string) {
+		for _, name := range strings.Split(names, ",") {
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := fmt.Sprintf("%s:%d", pos.Filename, line)
+				if ig[key] == nil {
+					ig[key] = make(map[string]bool)
+				}
+				ig[key][name] = true
+			}
+		}
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreDirective.FindStringSubmatch(c.Text)
-				if m == nil {
+				if m := ignoreDirective.FindStringSubmatch(c.Text); m != nil {
+					add(pkg.Fset.Position(c.Pos()), m[1])
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(m[1], ",") {
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						key := fmt.Sprintf("%s:%d", pos.Filename, line)
-						if ig[key] == nil {
-							ig[key] = make(map[string]bool)
-						}
-						ig[key][name] = true
+				if m := allowDirective.FindStringSubmatch(c.Text); m != nil {
+					if strings.TrimSpace(m[2]) == "" {
+						continue // no rationale: keeps no findings quiet
 					}
+					add(pkg.Fset.Position(c.Pos()), m[1])
 				}
 			}
 		}
 	}
 	return ig
+}
+
+// directiveDiags reports malformed suppression directives — today, a
+// lint:allow with no rationale. These are attributed to the pseudo-analyzer
+// "directive" and cannot themselves be suppressed.
+func directiveDiags(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowDirective.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) != "" {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      pkg.Fset.Position(c.Pos()),
+					Analyzer: "directive",
+					Message:  "lint:allow requires a rationale: //lint:allow " + m[1] + " <why this is sound>",
+				})
+			}
+		}
+	}
+	return out
 }
 
 func (ig ignores) suppressed(d Diagnostic) bool {

@@ -43,6 +43,28 @@ func RunTest(t *testing.T, a *Analyzer, dir string) {
 		t.Fatalf("no packages under %s", dir)
 	}
 	var diags []Diagnostic
+	if a.RunModule != nil {
+		// Module analyzers see every fixture package at once, exactly as
+		// the driver presents the module.
+		mp := &ModulePass{Analyzer: a, Fset: pkgs[0].Fset, Pkgs: pkgs}
+		if err := a.RunModule(mp); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, dir, err)
+		}
+		allIg := make(ignores)
+		for _, pkg := range pkgs {
+			for k, v := range collectIgnores(pkg) {
+				allIg[k] = v
+			}
+			diags = append(diags, directiveDiags(pkg)...)
+		}
+		for _, d := range mp.diags {
+			if !allIg.suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+		checkWants(t, pkgs, diags)
+		return
+	}
 	for _, pkg := range pkgs {
 		pass := &Pass{
 			Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
@@ -52,8 +74,9 @@ func RunTest(t *testing.T, a *Analyzer, dir string) {
 			t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
 		}
 		// Apply directive suppression exactly as the driver does, so
-		// fixtures can cover //vislint:ignore too.
+		// fixtures can cover //vislint:ignore and //lint:allow too.
 		ig := collectIgnores(pkg)
+		diags = append(diags, directiveDiags(pkg)...)
 		for _, d := range pass.diags {
 			if !ig.suppressed(d) {
 				diags = append(diags, d)

@@ -1,0 +1,1031 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Dettaint is the nondeterminism taint pass. It tracks values derived from
+// nondeterministic sources — wall-clock time, the global math/rand and
+// crypto/rand generators, map iteration order, pointer identity (%p and
+// unsafe conversions), and multi-case select arrival order — through
+// assignments, struct fields, and calls across the whole module, and
+// reports any tainted value flowing into a determinism sink: wire
+// encoding, checkpoint encoding, flight-recorder events, or a function
+// annotated "//dettaint:sink" (crosscheck-compared outputs).
+//
+// The analysis is flow-insensitive within a function and interprocedural
+// via per-function summaries (which parameters flow to results, into
+// struct fields, or into sinks) iterated to a fixpoint. Two deliberate
+// cleansing rules keep it usable: sorting a slice clears map-order taint
+// (sort.* / slices.Sort*), and storing into a map clears map-order taint
+// (map contents are unordered; order nondeterminism only matters when it
+// reaches an ordered encoding). Values drawn from seeded *rand.Rand
+// generators are NOT tainted — seeded streams are the module's
+// deterministic randomness plane.
+var Dettaint = &Analyzer{
+	Name: "dettaint",
+	Doc: "tracks nondeterministic values (time, global rand, map order, pointer " +
+		"identity, select order) and reports flows into wire/checkpoint/recorder " +
+		"encodings and crosscheck-compared outputs",
+	RunModule: runDettaint,
+}
+
+type taintKind uint8
+
+const (
+	taintTime taintKind = 1 << iota
+	taintRand
+	taintMapOrder
+	taintPtr
+	taintSelect
+)
+
+func (t taintKind) String() string {
+	var parts []string
+	if t&taintTime != 0 {
+		parts = append(parts, "wall-clock")
+	}
+	if t&taintRand != 0 {
+		parts = append(parts, "global-rand")
+	}
+	if t&taintMapOrder != 0 {
+		parts = append(parts, "map-order")
+	}
+	if t&taintPtr != 0 {
+		parts = append(parts, "pointer-identity")
+	}
+	if t&taintSelect != 0 {
+		parts = append(parts, "select-order")
+	}
+	return strings.Join(parts, "+")
+}
+
+// dtSummary is the interprocedural summary of one function.
+type dtSummary struct {
+	ret        taintKind         // inherent taint of any result
+	retParams  uint64            // param bits whose taint flows to results
+	sinkParams uint64            // param bits that reach a sink inside
+	callsSink  bool              // function (transitively) emits a sink event
+	fieldFlows map[string]uint64 // field key → param bits stored into it
+}
+
+// isSinkPkg reports whether a generic encoder call (encoding/json,
+// encoding/binary, encoding/gob) inside pkg is a determinism sink: the
+// root package's checkpoint encoding, the wire format, and the flight
+// recorder's dump format. JSON written elsewhere (status endpoints, trace
+// export) legitimately carries timings.
+func isSinkPkg(pkg *Package) bool {
+	path := strings.TrimSuffix(pkg.Types.Path(), "_test")
+	if pkg.ModulePath != "" && path == pkg.ModulePath {
+		return true
+	}
+	switch pkgTail(path) {
+	case "wire", "recorder":
+		return true
+	}
+	return false
+}
+
+// builtinSinks are module functions whose arguments must be deterministic,
+// keyed by function identity.
+var builtinSinks = map[string]string{
+	"visibility/internal/wire..Encode":              "wire encoding",
+	"visibility/internal/obs/recorder.Recorder.Log": "recorder event",
+}
+
+// encoderFuncs are the stdlib entry points treated as generic encoder
+// sinks inside builtinSinkPkgs.
+func isEncoderFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "encoding/json":
+		return fn.Name() == "Marshal" || fn.Name() == "MarshalIndent" || fn.Name() == "Encode"
+	case "encoding/binary":
+		return fn.Name() == "Write"
+	case "encoding/gob":
+		return fn.Name() == "Encode"
+	}
+	return false
+}
+
+type dtCtx struct {
+	mp          *ModulePass
+	sums        map[string]*dtSummary
+	fieldTaint  map[string]taintKind // "pkg.Struct.Field" → taint
+	globalTaint map[string]taintKind // "pkg.Var" → taint
+	sinks       map[string]string    // //dettaint:sink functions → description
+	reported    map[token.Pos]bool   // dedupe: expressions get re-evaluated
+	firstBump   map[string]token.Pos // DETTAINT_DEBUG: first site raising each field's taint
+	changed     bool
+}
+
+func runDettaint(mp *ModulePass) error {
+	c := &dtCtx{
+		mp:          mp,
+		sums:        make(map[string]*dtSummary),
+		fieldTaint:  make(map[string]taintKind),
+		globalTaint: make(map[string]taintKind),
+		sinks:       make(map[string]string),
+		reported:    make(map[token.Pos]bool),
+		firstBump:   make(map[string]token.Pos),
+	}
+	c.collectSinkAnnotations()
+	// Interprocedural fixpoint: summaries and global field taint only grow.
+	for i := 0; i < 20; i++ {
+		c.changed = false
+		c.analyzeAll(false)
+		if !c.changed {
+			break
+		}
+	}
+	c.analyzeAll(true)
+	if os.Getenv("DETTAINT_DEBUG") != "" {
+		for _, k := range sortedTaintKeys(c.fieldTaint) {
+			fmt.Fprintf(os.Stderr, "dettaint: field %s: %s (first at %s)\n", k, c.fieldTaint[k], mp.Fset.Position(c.firstBump[k]))
+		}
+		for _, k := range sortedTaintKeys(c.globalTaint) {
+			fmt.Fprintf(os.Stderr, "dettaint: global %s: %s\n", k, c.globalTaint[k])
+		}
+		keys := make([]string, 0, len(c.sums))
+		for k, s := range c.sums {
+			if s.sinkParams != 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, "dettaint: sink-flow %s params %b\n", k, c.sums[k].sinkParams)
+		}
+	}
+	return nil
+}
+
+func (c *dtCtx) collectSinkAnnotations() {
+	for _, pkg := range c.mp.Pkgs {
+		path := pkg.Types.Path()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, cm := range fd.Doc.List {
+					if strings.HasPrefix(cm.Text, "//dettaint:sink") {
+						c.sinks[declKey(path, fd)] = fd.Name.Name
+					}
+				}
+			}
+		}
+	}
+}
+
+// isTestFile reports whether f was parsed from a _test.go file. Test code
+// is excluded from the taint analysis entirely: determinism is a property
+// of production runs (crosscheck compares production outputs), and tests
+// deliberately drive module APIs with global-rand fuzz inputs — letting
+// their assignments into the shared field-taint tables saturates the
+// whole module.
+func (c *dtCtx) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(c.mp.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+func (c *dtCtx) analyzeAll(report bool) {
+	for _, pkg := range c.mp.Pkgs {
+		// Entry-point binaries (cmd/*, examples/*) are out of scope: they
+		// are not crosschecked and their display loops (ranging result
+		// maps for printing) would otherwise poison the module-wide field
+		// tables. The determinism invariant lives in the library packages.
+		if pkg.Types.Name() == "main" {
+			continue
+		}
+		path := pkg.Types.Path()
+		for _, f := range pkg.Files {
+			if c.isTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c.analyzeFunc(pkg, path, fd, report)
+			}
+		}
+	}
+}
+
+func (c *dtCtx) summaryFor(key string) *dtSummary {
+	s, ok := c.sums[key]
+	if !ok {
+		s = &dtSummary{fieldFlows: make(map[string]uint64)}
+		c.sums[key] = s
+	}
+	return s
+}
+
+func (c *dtCtx) bumpField(key string, t taintKind) {
+	c.bumpFieldAt(key, t, token.NoPos)
+}
+
+func (c *dtCtx) bumpFieldAt(key string, t taintKind, pos token.Pos) {
+	if os.Getenv("DETTAINT_DEBUG") != "" && pos.IsValid() {
+		if _, ok := c.firstBump[key]; !ok && c.fieldTaint[key]|t != c.fieldTaint[key] {
+			c.firstBump[key] = pos
+		}
+	}
+	if t == 0 {
+		return
+	}
+	if c.fieldTaint[key]|t != c.fieldTaint[key] {
+		c.fieldTaint[key] |= t
+		c.changed = true
+	}
+}
+
+func (c *dtCtx) bumpGlobal(key string, t taintKind) {
+	if t == 0 {
+		return
+	}
+	if c.globalTaint[key]|t != c.globalTaint[key] {
+		c.globalTaint[key] |= t
+		c.changed = true
+	}
+}
+
+// dtFunc is the per-function analysis state.
+type dtFunc struct {
+	c       *dtCtx
+	pkg     *Package
+	key     string
+	sum     *dtSummary
+	report  bool
+	vars    map[types.Object]taintKind
+	masks   map[types.Object]uint64 // param-bit masks carried by locals
+	results []types.Object          // named results, for bare returns
+	mapDep  int                     // map-range nesting depth
+	lits    map[*ast.FuncLit]bool   // literals being analyzed (cycle guard)
+}
+
+func (c *dtCtx) analyzeFunc(pkg *Package, path string, fd *ast.FuncDecl, report bool) {
+	key := declKey(path, fd)
+	a := &dtFunc{
+		c: c, pkg: pkg, key: key, sum: c.summaryFor(key), report: report,
+		vars: make(map[types.Object]taintKind), masks: make(map[types.Object]uint64),
+		lits: make(map[*ast.FuncLit]bool),
+	}
+	bit := 0
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			for _, name := range fld.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					a.masks[obj] = 1 << uint(bit)
+				}
+				bit++
+			}
+			if len(fld.Names) == 0 {
+				bit++
+			}
+		}
+	}
+	seed(fd.Recv)
+	seed(fd.Type.Params)
+	if fd.Type.Results != nil {
+		for _, fld := range fd.Type.Results.List {
+			for _, name := range fld.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					a.results = append(a.results, obj)
+				}
+			}
+		}
+	}
+	// Two local passes: flow-insensitive taint accumulates, and statements
+	// later in the body can taint variables read earlier.
+	a.stmts(fd.Body.List)
+	a.stmts(fd.Body.List)
+	for _, obj := range a.results {
+		a.retTaint(a.vars[obj], a.masks[obj])
+	}
+}
+
+func (a *dtFunc) retTaint(t taintKind, mask uint64) {
+	if a.sum.ret|t != a.sum.ret {
+		a.sum.ret |= t
+		a.c.changed = true
+	}
+	if a.sum.retParams|mask != a.sum.retParams {
+		a.sum.retParams |= mask
+		a.c.changed = true
+	}
+}
+
+func (a *dtFunc) sinkFlow(mask uint64) {
+	if a.sum.sinkParams|mask != a.sum.sinkParams {
+		a.sum.sinkParams |= mask
+		a.c.changed = true
+	}
+}
+
+func (a *dtFunc) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		a.stmt(s)
+	}
+}
+
+func (a *dtFunc) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		a.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						t, m := a.taintOf(vs.Values[i])
+						a.setVar(name, t, m)
+					} else if len(vs.Values) == 1 {
+						t, m := a.taintOf(vs.Values[0])
+						a.setVar(name, t, m)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		a.taintOf(s.X)
+	case *ast.SendStmt:
+		a.taintOf(s.Value)
+	case *ast.IncDecStmt:
+	case *ast.GoStmt:
+		a.taintOf(s.Call)
+	case *ast.DeferStmt:
+		a.taintOf(s.Call)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			for _, obj := range a.results {
+				a.retTaint(a.vars[obj], a.masks[obj])
+			}
+			return
+		}
+		for _, r := range s.Results {
+			t, m := a.taintOf(r)
+			a.retTaint(t, m)
+		}
+	case *ast.BlockStmt:
+		a.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(s.Init)
+		}
+		a.taintOf(s.Cond)
+		a.stmt(s.Body)
+		if s.Else != nil {
+			a.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(s.Init)
+		}
+		if s.Post != nil {
+			a.stmt(s.Post)
+		}
+		a.stmt(s.Body)
+	case *ast.RangeStmt:
+		rt, rm := a.taintOf(s.X)
+		overMap := false
+		if tv := a.pkg.Info.TypeOf(s.X); tv != nil {
+			if _, ok := tv.Underlying().(*types.Map); ok {
+				overMap = true
+			}
+		}
+		// Loop variables are NOT map-order tainted as values: the key set
+		// of a map is deterministic, so each key/value seen is a
+		// deterministic datum — only the ORDER of loop-body executions is
+		// nondeterministic. Order becomes observable through
+		// order-sensitive accumulation (append, string/float compound
+		// assignment — handled under mapDep) or by emitting sink events
+		// inside the body (handled in call via callsSink).
+		for _, v := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				a.setVar(id, rt, rm)
+			}
+		}
+		if overMap {
+			a.mapDep++
+		}
+		a.stmt(s.Body)
+		if overMap {
+			a.mapDep--
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				a.stmts(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				a.stmts(cl.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		multi := len(s.Body.List) >= 2
+		for _, cc := range s.Body.List {
+			cl, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cl.Comm != nil {
+				a.stmt(cl.Comm)
+				if multi {
+					// Which ready case won is scheduler-dependent.
+					if as, ok := cl.Comm.(*ast.AssignStmt); ok {
+						for _, lhs := range as.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+								a.setVar(id, taintSelect, 0)
+							}
+						}
+					}
+				}
+			}
+			a.stmts(cl.Body)
+		}
+	case *ast.LabeledStmt:
+		a.stmt(s.Stmt)
+	}
+}
+
+func (a *dtFunc) setVar(id *ast.Ident, t taintKind, mask uint64) {
+	obj := a.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = a.pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	a.vars[obj] |= t
+	a.masks[obj] |= mask
+	// Writes to package-level variables publish taint module-wide.
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+		v.Parent() == v.Pkg().Scope() {
+		a.c.bumpGlobal(v.Pkg().Path()+"."+v.Name(), t)
+	}
+}
+
+func (a *dtFunc) assign(s *ast.AssignStmt) {
+	var rts []taintKind
+	var rms []uint64
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		t, m := a.taintOf(s.Rhs[0])
+		for range s.Lhs {
+			rts = append(rts, t)
+			rms = append(rms, m)
+		}
+	} else {
+		for _, r := range s.Rhs {
+			t, m := a.taintOf(r)
+			rts = append(rts, t)
+			rms = append(rms, m)
+		}
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(rts) {
+			break
+		}
+		t, m := rts[i], rms[i]
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound assignment: accumulation order matters for strings
+			// and floats built inside a map range.
+			if a.mapDep > 0 {
+				if tv := a.pkg.Info.TypeOf(lhs); tv != nil {
+					b, ok := tv.Underlying().(*types.Basic)
+					if ok && b.Info()&(types.IsString|types.IsFloat) != 0 {
+						t |= taintMapOrder
+					}
+				}
+			}
+		}
+		a.store(lhs, t, m)
+	}
+}
+
+// store writes taint into an lvalue.
+func (a *dtFunc) store(lhs ast.Expr, t taintKind, mask uint64) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		a.setVar(l, t, mask)
+	case *ast.SelectorExpr:
+		if key, ok := a.selFieldKey(l); ok {
+			a.c.bumpFieldAt(key, t, l.Pos())
+			if mask != 0 {
+				if a.sum.fieldFlows[key]|mask != a.sum.fieldFlows[key] {
+					a.sum.fieldFlows[key] |= mask
+					a.c.changed = true
+				}
+			}
+			return
+		}
+		// Package-level var through a selector (pkg.Var = x).
+		if v, ok := a.pkg.Info.Uses[l.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			a.c.bumpGlobal(v.Pkg().Path()+"."+v.Name(), t)
+		}
+	case *ast.IndexExpr:
+		// Storing into a map is order-insensitive; the taint only matters
+		// again if the map is iterated, which re-taints.
+		if tv := a.pkg.Info.TypeOf(l.X); tv != nil {
+			if _, ok := tv.Underlying().(*types.Map); ok {
+				t &^= taintMapOrder
+			}
+		}
+		a.store(l.X, t, mask)
+	case *ast.StarExpr:
+		a.store(l.X, t, mask)
+	case *ast.ParenExpr:
+		a.store(l.X, t, mask)
+	}
+}
+
+func (a *dtFunc) selFieldKey(sel *ast.SelectorExpr) (string, bool) {
+	s, ok := a.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	k := namedKeyOf(s.Recv())
+	if k == "" {
+		return "", false
+	}
+	return k + "." + sel.Sel.Name, true
+}
+
+// structTaint unions the global taint of t's direct fields, for struct
+// values handed whole to an encoder.
+func (a *dtFunc) structTaint(t types.Type) taintKind {
+	key := namedKeyOf(t)
+	if key == "" {
+		return 0
+	}
+	var out taintKind
+	for fk, ft := range a.c.fieldTaint {
+		if strings.HasPrefix(fk, key+".") {
+			out |= ft
+		}
+	}
+	return out
+}
+
+// taintOf evaluates the taint and param-flow mask of an expression.
+func (a *dtFunc) taintOf(e ast.Expr) (taintKind, uint64) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return 0, 0
+	case *ast.Ident:
+		obj := a.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = a.pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return 0, 0
+		}
+		t := a.vars[obj]
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && !v.IsField() &&
+			v.Parent() == v.Pkg().Scope() {
+			t |= a.c.globalTaint[v.Pkg().Path()+"."+v.Name()]
+		}
+		return t, a.masks[obj]
+	case *ast.SelectorExpr:
+		if key, ok := a.selFieldKey(e); ok {
+			// Field-level precision: reading a field yields that field's
+			// taint, not the whole struct's — one nondeterministic field
+			// in a widely-shared object must not taint every read of its
+			// siblings. The base's param mask still flows (a sink inside
+			// a callee reached through a param's field is a param flow).
+			_, bm := a.taintOf(e.X)
+			return a.c.fieldTaint[key], bm
+		}
+		if v, ok := a.pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return a.c.globalTaint[v.Pkg().Path()+"."+v.Name()], 0
+		}
+		return 0, 0
+	case *ast.CallExpr:
+		return a.call(e)
+	case *ast.FuncLit:
+		return a.litTaint(e)
+	case *ast.BinaryExpr:
+		lt, lm := a.taintOf(e.X)
+		rt, rm := a.taintOf(e.Y)
+		return lt | rt, lm | rm
+	case *ast.UnaryExpr:
+		return a.taintOf(e.X)
+	case *ast.StarExpr:
+		return a.taintOf(e.X)
+	case *ast.ParenExpr:
+		return a.taintOf(e.X)
+	case *ast.IndexExpr:
+		return a.taintOf(e.X)
+	case *ast.IndexListExpr:
+		return a.taintOf(e.X)
+	case *ast.SliceExpr:
+		return a.taintOf(e.X)
+	case *ast.TypeAssertExpr:
+		return a.taintOf(e.X)
+	case *ast.KeyValueExpr:
+		return a.taintOf(e.Value)
+	case *ast.CompositeLit:
+		var t taintKind
+		var m uint64
+		structKey := ""
+		if tt := a.pkg.Info.TypeOf(e); tt != nil {
+			if _, isStruct := tt.Underlying().(*types.Struct); isStruct {
+				structKey = namedKeyOf(tt)
+			}
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				vt, vm := a.taintOf(kv.Value)
+				if id, ok := kv.Key.(*ast.Ident); ok && structKey != "" {
+					// Keyed struct literal: the taint lives on the field,
+					// not the whole value (see the selector case).
+					fkey := structKey + "." + id.Name
+					a.c.bumpFieldAt(fkey, vt, kv.Pos())
+					if vm != 0 && a.sum.fieldFlows[fkey]|vm != a.sum.fieldFlows[fkey] {
+						a.sum.fieldFlows[fkey] |= vm
+						a.c.changed = true
+					}
+					continue
+				}
+				t |= vt
+				m |= vm
+				continue
+			}
+			et, em := a.taintOf(el)
+			t |= et
+			m |= em
+		}
+		return t, m
+	}
+	return 0, 0
+}
+
+// litTaint analyzes a function literal in the enclosing environment
+// (captures share taint state) and returns the taint of its results.
+func (a *dtFunc) litTaint(lit *ast.FuncLit) (taintKind, uint64) {
+	if a.lits[lit] {
+		return 0, 0
+	}
+	a.lits[lit] = true
+	defer delete(a.lits, lit)
+	var t taintKind
+	var m uint64
+	a.stmts(lit.Body.List)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				rt, rm := a.taintOf(r)
+				t |= rt
+				m |= rm
+			}
+		}
+		return true
+	})
+	return t, m
+}
+
+// resolvedFunc returns the *types.Func a call expression statically
+// resolves to, or nil for func-value calls and conversions.
+func (a *dtFunc) resolvedFunc(fun ast.Expr) *types.Func {
+	for {
+		switch x := fun.(type) {
+		case *ast.ParenExpr:
+			fun = x.X
+			continue
+		case *ast.IndexExpr:
+			fun = x.X
+			continue
+		case *ast.IndexListExpr:
+			fun = x.X
+			continue
+		}
+		break
+	}
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, _ := a.pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+func (a *dtFunc) call(call *ast.CallExpr) (taintKind, uint64) {
+	// Type conversion?
+	if tv, ok := a.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		var t taintKind
+		var m uint64
+		if len(call.Args) == 1 {
+			t, m = a.taintOf(call.Args[0])
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+				t |= taintPtr
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uintptr {
+				if at := a.pkg.Info.TypeOf(call.Args[0]); at != nil {
+					if bb, ok := at.Underlying().(*types.Basic); ok && bb.Kind() == types.UnsafePointer {
+						t |= taintPtr
+					}
+				}
+			}
+		}
+		return t, m
+	}
+
+	fn := a.resolvedFunc(call.Fun)
+
+	// Builtins.
+	if fn == nil {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isB := a.pkg.Info.Uses[id].(*types.Builtin); isB {
+				var t taintKind
+				var m uint64
+				for _, arg := range call.Args {
+					at, am := a.taintOf(arg)
+					t |= at
+					m |= am
+				}
+				if id.Name == "append" && a.mapDep > 0 {
+					// Appending inside a map range accumulates in
+					// iteration order.
+					t |= taintMapOrder
+				}
+				if id.Name == "len" || id.Name == "cap" {
+					return 0, 0
+				}
+				return t, m
+			}
+		}
+	}
+
+	var argT []taintKind
+	var argM []uint64
+	var allT taintKind
+	var allM uint64
+	hasRecv := false
+	// Receiver is bit 0 for method calls, matching the summary seeding.
+	if fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			hasRecv = true
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				t, m := a.taintOf(sel.X)
+				argT = append(argT, t)
+				argM = append(argM, m)
+				allT |= t
+				allM |= m
+			} else {
+				argT = append(argT, 0)
+				argM = append(argM, 0)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		t, m := a.taintOf(arg)
+		argT = append(argT, t)
+		argM = append(argM, m)
+		allT |= t
+		allM |= m
+	}
+
+	if fn == nil {
+		// Calling a function value: its own taint (e.g. a field holding a
+		// wall-clock closure) becomes the result's.
+		ft, fm := a.taintOf(call.Fun)
+		return ft | allT, fm | allM
+	}
+
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	key := funcKeyOf(fn)
+
+	// Nondeterminism sources.
+	switch path {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return taintTime, 0
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil &&
+			!strings.HasPrefix(fn.Name(), "New") {
+			// Package-level sampling funcs use the shared, unseeded
+			// generator. Constructors (New, NewSource, NewPCG, ...) and
+			// methods on the seeded *rand.Rand they return stay
+			// deterministic — seeded streams are the module's
+			// deterministic randomness plane.
+			return taintRand, 0
+		}
+	case "crypto/rand":
+		return taintRand | allT, allM
+	case "fmt":
+		t := allT
+		if len(call.Args) > 0 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok && strings.Contains(lit.Value, "%p") {
+				t |= taintPtr
+			}
+		}
+		return t, allM
+	case "sort", "slices":
+		// Sorting establishes a deterministic order: clear map-order
+		// taint from the sorted variable.
+		if strings.HasPrefix(fn.Name(), "Sort") || fn.Name() == "Slice" ||
+			fn.Name() == "SliceStable" || fn.Name() == "Strings" ||
+			fn.Name() == "Ints" || fn.Name() == "Float64s" {
+			if len(call.Args) > 0 {
+				a.cleanse(call.Args[0], taintMapOrder)
+			}
+			return 0, 0
+		}
+	}
+
+	if sum, isModule := a.c.sums[key]; isModule {
+		t := sum.ret
+		var m uint64
+		for i := range argT {
+			if sum.retParams&(1<<uint(i)) != 0 {
+				t |= argT[i]
+				m |= argM[i]
+			}
+			if sum.sinkParams&(1<<uint(i)) != 0 {
+				a.sinkArg(call, argT[i], argM[i], call.Pos(), "argument reaching a determinism sink inside "+fn.Name())
+			}
+		}
+		for fkey, mask := range sum.fieldFlows {
+			for i := range argT {
+				if mask&(1<<uint(i)) != 0 {
+					a.c.bumpFieldAt(fkey, argT[i], call.Pos())
+					if argM[i] != 0 && a.sum.fieldFlows[fkey]|argM[i] != a.sum.fieldFlows[fkey] {
+						a.sum.fieldFlows[fkey] |= argM[i]
+						a.c.changed = true
+					}
+				}
+			}
+		}
+		// The receiver is the sink object itself (a recorder, an encoder),
+		// not data being encoded: only the arguments are checked.
+		first := 0
+		if hasRecv {
+			first = 1
+		}
+		if desc, isSink := a.c.sinks[key]; isSink {
+			a.markSink(call, "sink "+desc+" event")
+			for i := first; i < len(argT); i++ {
+				st := argT[i] | a.structArgTaint(call, i, fn)
+				a.sinkArg(call, st, argM[i], call.Pos(), "sink "+desc)
+			}
+		}
+		if desc, isSink := builtinSinks[key]; isSink {
+			a.markSink(call, desc)
+			for i := first; i < len(argT); i++ {
+				st := argT[i] | a.structArgTaint(call, i, fn)
+				a.sinkArg(call, st, argM[i], call.Pos(), desc)
+			}
+		}
+		if sum.callsSink {
+			a.markSink(call, "a determinism-sink event (via "+fn.Name()+")")
+		}
+		return t, m
+	}
+
+	// Generic encoder sinks inside the checkpoint/wire/recorder packages.
+	if isEncoderFunc(fn) && isSinkPkg(a.pkg) {
+		a.markSink(call, "checkpoint/wire encoding")
+		first := 0
+		if hasRecv {
+			first = 1
+		}
+		for i := first; i < len(argT); i++ {
+			st := argT[i] | a.structArgTaint(call, i, fn)
+			a.sinkArg(call, st, argM[i], call.Pos(), "checkpoint/wire encoding")
+		}
+		return 0, 0
+	}
+
+	// Unknown (stdlib) call: taint flows through.
+	return allT, allM
+}
+
+// structArgTaint adds the field-level taint of a struct argument handed
+// whole to a sink (bit i of the call's receiver+args list).
+func (a *dtFunc) structArgTaint(call *ast.CallExpr, i int, fn *types.Func) taintKind {
+	hasRecv := false
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		hasRecv = true
+	}
+	var e ast.Expr
+	if hasRecv {
+		if i == 0 {
+			return 0
+		}
+		if i-1 < len(call.Args) {
+			e = call.Args[i-1]
+		}
+	} else if i < len(call.Args) {
+		e = call.Args[i]
+	}
+	if e == nil {
+		return 0
+	}
+	t := a.pkg.Info.TypeOf(e)
+	if t == nil {
+		return 0
+	}
+	return a.structTaint(t)
+}
+
+// markSink records that the current function performs a sink emission
+// (directly or through a callee) and, when the emitting call sits inside a
+// range over a map, reports it: each iteration emits one event, so the
+// emitted sequence follows map iteration order even when every individual
+// value is deterministic — and recorder dumps and encodings are compared
+// as ordered byte streams.
+func (a *dtFunc) markSink(call *ast.CallExpr, what string) {
+	if !a.sum.callsSink {
+		a.sum.callsSink = true
+		a.c.changed = true
+	}
+	if a.mapDep > 0 && a.report && !a.c.reported[call.Pos()] {
+		a.c.reported[call.Pos()] = true
+		a.c.mp.Reportf(call.Pos(),
+			"%s emitted inside a range over a map: emission order follows map iteration order; iterate sorted keys instead", what)
+	}
+}
+
+func (a *dtFunc) sinkArg(call *ast.CallExpr, t taintKind, mask uint64, pos token.Pos, what string) {
+	a.sinkFlow(mask)
+	if !a.report || t == 0 || a.c.reported[pos] {
+		return
+	}
+	a.c.reported[pos] = true
+	a.c.mp.Reportf(pos, "nondeterministic value (%s) flows into %s", t, what)
+}
+
+// cleanse clears taint kinds from the variable at the root of e.
+func (a *dtFunc) cleanse(e ast.Expr, t taintKind) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := a.pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	a.vars[obj] &^= t
+}
+
+// sortedTaintKeys is a debugging helper kept for deterministic dumps.
+func sortedTaintKeys(m map[string]taintKind) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
@@ -19,11 +20,16 @@ import (
 // loops, defers) and reports any annotated-field access at a point where
 // the guard is not known to be held.
 //
+// sync.RWMutex is understood: RLock grants read access only — a read
+// under RLock is legal, a write (assignment, compound assignment, ++/--,
+// or a store through an index like x.f[k] = v) under only RLock is its
+// own finding. Lock grants both.
+//
 // Conventions understood:
-//   - "defer x.mu.Unlock()" keeps the guard held to the end of the
-//     function;
+//   - "defer x.mu.Unlock()" / "defer x.mu.RUnlock()" keep the guard held
+//     (in its acquired mode) to the end of the function;
 //   - a function whose name ends in "Locked" is assumed to be called
-//     with every guard of its receiver already held;
+//     with every guard of its receiver already write-held;
 //   - function literals are analyzed with no guards held (they may run
 //     on another goroutine);
 //   - composite literals do not count as field accesses, so constructors
@@ -34,7 +40,7 @@ import (
 // guarded fields.
 var Guardedby = &Analyzer{
 	Name: "guardedby",
-	Doc:  "report accesses to '// guarded by <mu>' fields without the guard held",
+	Doc:  "report accesses to '// guarded by <mu>' fields without the guard held (writes require the write lock)",
 	Match: func(path string) bool {
 		switch pkgTail(path) {
 		case "sched", "event", "cluster", "harness", "obs", "server", "fault":
@@ -62,6 +68,14 @@ type guardInfo struct {
 	guard      string // sibling field holding the mutex
 }
 
+// lockMode is what an acquired guard permits.
+type lockMode uint8
+
+const (
+	modeRead  lockMode = 1 << iota // RLock
+	modeWrite                      // Lock (implies read)
+)
+
 func runGuardedby(pass *Pass) error {
 	guards := collectGuards(pass)
 	if len(guards) == 0 {
@@ -74,13 +88,13 @@ func runGuardedby(pass *Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			held := make(map[string]bool)
+			held := make(map[string]lockMode)
 			if strings.HasSuffix(fd.Name.Name, "Locked") {
 				// Callee contract: every guard of the receiver is held.
 				if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
 					recv := fd.Recv.List[0].Names[0].Name
 					for _, gi := range guards {
-						held[recv+"."+gi.guard] = true
+						held[recv+"."+gi.guard] = modeRead | modeWrite
 					}
 				}
 			}
@@ -149,25 +163,25 @@ func fieldList(fl *ast.Field) string {
 }
 
 // lockWalker is a conservative flow-sensitive lock tracker. held maps a
-// rendered guard path ("x.mu") to whether that mutex is known held.
+// rendered guard path ("x.mu") to the mode that mutex is known held in.
 type lockWalker struct {
 	pass   *Pass
 	guards map[*types.Var]guardInfo
 }
 
-func clone(m map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(m))
+func clone(m map[string]lockMode) map[string]lockMode {
+	out := make(map[string]lockMode, len(m))
 	for k, v := range m {
 		out[k] = v
 	}
 	return out
 }
 
-func intersect(a, b map[string]bool) map[string]bool {
-	out := make(map[string]bool)
+func intersect(a, b map[string]lockMode) map[string]lockMode {
+	out := make(map[string]lockMode)
 	for k := range a {
-		if a[k] && b[k] {
-			out[k] = true
+		if m := a[k] & b[k]; m != 0 {
+			out[k] = m
 		}
 	}
 	return out
@@ -193,48 +207,70 @@ func pathOf(e ast.Expr) string {
 	return ""
 }
 
-// lockOp classifies a call as a guard acquisition/release; returns the
-// guard path and +1 (acquire) / -1 (release), or ok=false.
-func lockOp(call *ast.CallExpr) (path string, acquire bool, ok bool) {
+// lockOp classifies a call as a guard acquisition/release; mode is the
+// access the acquisition grants (0 for releases).
+func lockOp(call *ast.CallExpr) (path string, mode lockMode, release bool, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel || len(call.Args) != 0 {
-		return "", false, false
+		return "", 0, false, false
 	}
 	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		acquire = true
+	case "Lock":
+		mode = modeRead | modeWrite
+	case "RLock":
+		mode = modeRead
 	case "Unlock", "RUnlock":
-		acquire = false
+		release = true
 	default:
-		return "", false, false
+		return "", 0, false, false
 	}
 	p := pathOf(sel.X)
 	if p == "" {
-		return "", false, false
+		return "", 0, false, false
 	}
-	return p, acquire, true
+	return p, mode, release, true
 }
 
 // exprs checks every guarded-field access inside e (which must not itself
-// be a statement) under the current held set. Function literals are
-// walked with an empty held set.
-func (w *lockWalker) exprs(e ast.Node, held map[string]bool) {
+// be a statement) under the current held set, as reads. Function literals
+// are walked with an empty held set.
+func (w *lockWalker) exprs(e ast.Node, held map[string]lockMode) {
 	if e == nil {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			w.stmts(n.Body.List, make(map[string]bool))
+			w.stmts(n.Body.List, make(map[string]lockMode))
 			return false
 		case *ast.SelectorExpr:
-			w.checkAccess(n, held)
+			w.checkAccess(n, held, false)
 		}
 		return true
 	})
 }
 
-func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+// lvalue checks an assignment target: the outermost selected field is a
+// write (also through an index or pointer dereference); everything below
+// it is read.
+func (w *lockWalker) lvalue(e ast.Expr, held map[string]lockMode) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.lvalue(e.X, held)
+	case *ast.StarExpr:
+		w.lvalue(e.X, held)
+	case *ast.IndexExpr:
+		w.lvalue(e.X, held)
+		w.exprs(e.Index, held)
+	case *ast.SelectorExpr:
+		w.checkAccess(e, held, true)
+		w.exprs(e.X, held)
+	default:
+		w.exprs(e, held)
+	}
+}
+
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[string]lockMode, write bool) {
 	s, ok := w.pass.Info.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
 		return
@@ -253,15 +289,20 @@ func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
 		// to a tracked guard; stay silent rather than guess.
 		return
 	}
-	if !held[base+"."+gi.guard] {
+	mode := held[base+"."+gi.guard]
+	switch {
+	case mode == 0:
 		w.pass.Reportf(sel.Sel.Pos(), "access to %s.%s (guarded by %s) without holding %s.%s",
+			gi.structName, gi.fieldName, gi.guard, base, gi.guard)
+	case write && mode&modeWrite == 0:
+		w.pass.Reportf(sel.Sel.Pos(), "write to %s.%s (guarded by %s) while holding only a read lock on %s.%s; use Lock, not RLock",
 			gi.structName, gi.fieldName, gi.guard, base, gi.guard)
 	}
 }
 
 // stmts walks a statement list, returning the held set after the list and
 // whether control definitely leaves it (return/branch/goto).
-func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]lockMode) (map[string]lockMode, bool) {
 	for _, s := range list {
 		var term bool
 		held, term = w.stmt(s, held)
@@ -272,13 +313,17 @@ func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) (map[string]bo
 	return held, false
 }
 
-func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]lockMode) (map[string]lockMode, bool) {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
 		if call, ok := s.X.(*ast.CallExpr); ok {
-			if path, acquire, ok := lockOp(call); ok {
+			if path, mode, release, ok := lockOp(call); ok {
 				held = clone(held)
-				held[path] = acquire
+				if release {
+					delete(held, path)
+				} else {
+					held[path] = mode
+				}
 				return held, false
 			}
 		}
@@ -286,8 +331,9 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) (map[string]bool, bo
 		return held, false
 
 	case *ast.DeferStmt:
-		if _, acquire, ok := lockOp(s.Call); ok && !acquire {
-			// Deferred release: the guard stays held to function end.
+		if _, _, release, ok := lockOp(s.Call); ok && release {
+			// Deferred release: the guard stays held, in whatever mode it
+			// was acquired, to function end.
 			return held, false
 		}
 		w.exprs(s.Call, held)
@@ -302,12 +348,12 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) (map[string]bool, bo
 			w.exprs(e, held)
 		}
 		for _, e := range s.Lhs {
-			w.exprs(e, held)
+			w.lvalue(e, held)
 		}
 		return held, false
 
 	case *ast.IncDecStmt:
-		w.exprs(s.X, held)
+		w.lvalue(s.X, held)
 		return held, false
 
 	case *ast.SendStmt:
@@ -328,7 +374,7 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) (map[string]bool, bo
 	case *ast.BranchStmt:
 		// break/continue/goto leave this statement list; the enclosing
 		// construct merges conservatively.
-		return held, s.Tok.String() != "fallthrough"
+		return held, s.Tok != token.FALLTHROUGH
 
 	case *ast.LabeledStmt:
 		return w.stmt(s.Stmt, held)
@@ -401,7 +447,7 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) (map[string]bool, bo
 
 // clauses merges case/comm clause bodies: a guard survives only if held
 // on every non-terminating path, including the no-case-taken path.
-func (w *lockWalker) clauses(list []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+func (w *lockWalker) clauses(list []ast.Stmt, held map[string]lockMode) (map[string]lockMode, bool) {
 	after := held
 	for _, c := range list {
 		var body []ast.Stmt

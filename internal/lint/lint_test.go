@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"strings"
 	"testing"
@@ -23,6 +25,8 @@ func TestAnalyzers(t *testing.T) {
 		{Guardedby, "testdata/guardedby"},
 		{Detrange, "testdata/detrange"},
 		{Errchecklite, "testdata/errchecklite"},
+		{Confined, "testdata/confined"},
+		{Dettaint, "testdata/dettaint"},
 	}
 	if len(tests) != len(All()) {
 		t.Fatalf("fixture table covers %d analyzers, All() has %d", len(tests), len(All()))
@@ -54,14 +58,15 @@ func TestMatchPolicies(t *testing.T) {
 		{Detrange, "visibility/internal/raycast", true},
 		{Detrange, "visibility/internal/core", true},
 		{Detrange, "visibility/internal/sched", false},
-		{Detrange, "visibility", false},
+		{Detrange, "visibility/internal/wire", true},
+		{Detrange, "visibility", true}, // root-package checkpoint encoding
 	}
 	for _, tt := range tests {
 		if got := tt.analyzer.Match(tt.path); got != tt.want {
 			t.Errorf("%s.Match(%q) = %v, want %v", tt.analyzer.Name, tt.path, got, tt.want)
 		}
 	}
-	for _, a := range []*Analyzer{Interferecheck, Errchecklite} {
+	for _, a := range []*Analyzer{Interferecheck, Errchecklite, Confined, Dettaint} {
 		if a.Match != nil {
 			t.Errorf("%s should run module-wide (Match == nil)", a.Name)
 		}
@@ -116,6 +121,66 @@ func paths(pkgs []*Package) []string {
 		out = append(out, p.Path)
 	}
 	return out
+}
+
+// TestAllowRationaleRequired pins the rationale contract: a lint:allow
+// without a trailing explanation suppresses nothing and is itself
+// reported (against the non-suppressible "directive" pseudo-analyzer).
+func TestAllowRationaleRequired(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow confined
+	//lint:allow dettaint the worker owns this map exclusively
+	_ = 0
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+
+	diags := directiveDiags(pkg)
+	if len(diags) != 1 {
+		t.Fatalf("directiveDiags = %v, want exactly one finding", diags)
+	}
+	d := diags[0]
+	if d.Pos.Line != 4 || d.Analyzer != "directive" ||
+		!strings.Contains(d.Message, "lint:allow requires a rationale") {
+		t.Errorf("unexpected directive finding: %s", d)
+	}
+
+	ig := collectIgnores(pkg)
+	if ig.suppressed(Diagnostic{Pos: pos("p.go", 5), Analyzer: "confined"}) {
+		t.Errorf("rationale-less allow must suppress nothing")
+	}
+	for _, line := range []int{5, 6} {
+		if !ig.suppressed(Diagnostic{Pos: pos("p.go", line), Analyzer: "dettaint"}) {
+			t.Errorf("rationale-bearing allow should cover line %d", line)
+		}
+	}
+}
+
+// TestModuleClean is the module-wide regression gate: the full analyzer
+// suite over the whole module must report nothing. A new finding either
+// gets fixed or carries a rationale-bearing //lint:allow.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool and loads the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
 }
 
 // TestIgnoreDirective pins the suppression contract: a directive names its

@@ -1,0 +1,115 @@
+// Package a seeds confinement fixtures: a worker-owned instance type
+// whose fields and type carry "confined to worker" annotations, reached
+// correctly from domain roots and incorrectly from outside — plus the
+// three escape routes (channel send, package-level store, goroutine
+// capture) and the sanctioned literal bindings (func-field stores and
+// //confined:callbacks arguments).
+package a
+
+// Box is a single-goroutine analysis instance.
+//
+// confined to worker
+type Box struct {
+	// n is the instance's mutable state.
+	//
+	// confined to worker
+	n int
+}
+
+// Drive owns the instance loop.
+//
+// confined to worker
+func Drive(b *Box) {
+	b.n = helper(b) + 1
+}
+
+// helper has no domain of its own; it inherits worker from Drive through
+// the call graph, so its access is legal.
+func helper(b *Box) int { return b.n }
+
+// Start launches the worker goroutine: spawning a rooted function is how
+// a domain legitimately begins.
+func Start(b *Box) {
+	go Drive(b)
+}
+
+// Peek reads instance state from some other goroutine's domain.
+//
+// confined to other
+func Peek(b *Box) int {
+	return b.n // want `worker-confined field a\.Box\.n accessed from function Peek, which runs in \[other\]`
+}
+
+// touch inherits #outside from init through the call graph.
+func touch(b *Box) {
+	_ = b.n // want `worker-confined field a\.Box\.n accessed from function touch, which runs in \[#outside\]`
+}
+
+func init() {
+	touch(&Box{n: 1}) // composite literals are constructor-exempt
+}
+
+// leaked is a package-level stash; storing a Box here leaves the domain.
+var leaked *Box
+
+// Publish stashes the instance globally.
+//
+// confined to worker
+func Publish(b *Box) {
+	leaked = b // want `value of worker-confined type a\.Box stored in package-level variable leaked`
+}
+
+// Ship hands the instance to another goroutine over a channel.
+//
+// confined to worker
+func Ship(ch chan *Box, b *Box) {
+	ch <- b // want `value of worker-confined type a\.Box sent over a channel, leaving its domain`
+}
+
+// Fork spawns a goroutine that captures the instance.
+//
+// confined to worker
+func Fork(b *Box) {
+	go func() {
+		b.n = 2 // want `goroutine closure captures b, a value of worker-confined type a\.Box` `worker-confined field a\.Box\.n accessed from function literal at line \d+, which runs in \[#outside\]`
+	}()
+}
+
+// Worker drives callbacks on the owning goroutine.
+type Worker struct {
+	// fn runs on the owner.
+	//
+	// confined to worker
+	fn func()
+}
+
+// NewWorker builds a Worker whose callback touches instance state: a
+// literal stored into an annotated func field roots in that domain.
+func NewWorker(b *Box) *Worker {
+	return &Worker{fn: func() { b.n = 3 }}
+}
+
+// Rebind swaps the callback; the new literal still runs on the owner.
+func Rebind(w *Worker, b *Box) {
+	w.fn = func() { b.n = 4 }
+}
+
+// Run executes f on the worker goroutine.
+//
+//confined:callbacks worker
+func Run(f func()) { f() }
+
+// Submit hands work to the worker from anywhere: literals passed to a
+// callbacks-annotated function root in its domain.
+func Submit(b *Box) {
+	Run(func() { b.n = 5 })
+}
+
+// Drain reads the instance from the shutdown path; the allow directive
+// records why the cross-domain read is sound.
+//
+// confined to other
+func Drain(b *Box) int {
+	//lint:allow confined shutdown runs after the worker goroutine has exited
+	return b.n
+}

@@ -1,0 +1,51 @@
+// Package wire stands in for the module's encoding layer: only functions
+// that feed an encoder (or are named like one), plus their direct
+// same-package callees, have their map ranges flagged — the bytes they
+// produce are compared across runs. Code off the encoder paths may range
+// maps freely.
+package wire
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+type snapshot struct {
+	Parts map[string]int
+}
+
+// Encode assembles the comparable byte form; it is a seed both by name
+// and by calling json.Marshal.
+func Encode(s snapshot) []byte {
+	var names []string
+	for k := range s.Parts { // want `range over map map\[string\]int in encoder-feeding function Encode`
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	b, _ := json.Marshal(names)
+	return b
+}
+
+// helper is a direct callee of MarshalJSON: one level of transitivity
+// keeps factored-out assembly honest.
+func helper(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map map\[string\]int in encoder-feeding function helper`
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func MarshalJSON(m map[string]int) ([]byte, error) {
+	return json.Marshal(helper(m))
+}
+
+// display is not on any encoder path: map ranges are fine here.
+func display(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

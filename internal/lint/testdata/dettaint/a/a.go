@@ -1,0 +1,96 @@
+// Package a seeds dettaint fixtures: every nondeterminism source (wall
+// clock, global rand, pointer identity, multi-ready select) flowing into
+// an annotated determinism sink, field-level taint precision, the
+// interprocedural parameter flows, and a rationale-bearing allow.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Emit is the crosscheck-compared output of this fixture.
+//
+//dettaint:sink
+func Emit(s string) {
+	_ = s
+}
+
+func wallClock() {
+	now := time.Now().String()
+	Emit(now) // want `nondeterministic value \(wall-clock\) flows into sink Emit`
+}
+
+func globalRand() {
+	n := rand.Intn(6)
+	Emit(fmt.Sprintf("%d", n)) // want `nondeterministic value \(global-rand\) flows into sink Emit`
+}
+
+// seededRand draws from a seeded generator: seeded streams are the
+// module's deterministic randomness plane and carry no taint.
+func seededRand() {
+	r := rand.New(rand.NewSource(42))
+	Emit(fmt.Sprintf("%d", r.Intn(6)))
+}
+
+func pointerIdentity(v *int) {
+	Emit(fmt.Sprintf("%p", v)) // want `nondeterministic value \(pointer-identity\) flows into sink Emit`
+}
+
+func selectOrder(c1, c2 chan string) {
+	var s string
+	select {
+	case s = <-c1:
+	case s = <-c2:
+	}
+	Emit(s) // want `nondeterministic value \(select-order\) flows into sink Emit`
+}
+
+// singleSelect has one ready case: arrival order cannot vary.
+func singleSelect(c1 chan string) {
+	var s string
+	select {
+	case s = <-c1:
+	}
+	Emit(s)
+}
+
+// describe returns its argument's taint: param flows ride through
+// module-function summaries.
+func describe(s string) string { return s + "!" }
+
+func viaHelper() {
+	Emit(describe(time.Now().String())) // want `nondeterministic value \(wall-clock\) flows into sink Emit`
+}
+
+// forward reaches the sink with its parameter, so tainted arguments are
+// reported at forward's call sites.
+func forward(s string) { Emit(s) }
+
+func viaForward() {
+	forward(time.Now().String()) // want `nondeterministic value \(wall-clock\) flows into argument reaching a determinism sink inside forward`
+}
+
+// record carries one tainted and one clean field: reading a sibling of a
+// nondeterministic field must stay clean (field-level precision).
+type record struct {
+	at   string
+	name string
+}
+
+func stamp(r *record) {
+	r.at = time.Now().String()
+}
+
+func emitRecord(r *record) {
+	Emit(r.name)
+	Emit(r.at) // want `nondeterministic value \(wall-clock\) flows into sink Emit`
+}
+
+// allowed demonstrates a justified suppression; the rationale is
+// mandatory.
+func allowed() {
+	//lint:allow dettaint fixture exercises the escape hatch, not a real output
+	Emit(time.Now().String())
+}

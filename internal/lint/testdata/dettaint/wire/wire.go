@@ -1,0 +1,61 @@
+// Package wire stands in for the module's encoding layer: its directory
+// name makes generic encoder calls (json/binary/gob) determinism sinks,
+// so map-order accumulation and per-iteration sink emission are caught
+// here, and the sorted-keys discipline is pinned as the clean pattern.
+package wire
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// EncodeValues assembles its output by ranging a map: the accumulated
+// slice order follows map iteration order.
+func EncodeValues(m map[string]int) []byte {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	b, _ := json.Marshal(vals) // want `nondeterministic value \(map-order\) flows into checkpoint/wire encoding`
+	return b
+}
+
+// EncodeSorted is the sanctioned pattern: collect keys, sort them, then
+// walk the sorted slice. Sorting cleanses map-order taint.
+func EncodeSorted(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	b, _ := json.Marshal(out)
+	return b
+}
+
+// EncodeEach emits one encoding per iteration: every value is
+// deterministic, but the emission sequence follows map order.
+func EncodeEach(m map[string]int) [][]byte {
+	var out [][]byte
+	for _, v := range m {
+		b, _ := json.Marshal(v) // want `checkpoint/wire encoding emitted inside a range over a map`
+		out = append(out, b)
+	}
+	return out
+}
+
+// emitOne performs a sink emission; callers inherit callsSink.
+func emitOne(v int) {
+	b, _ := json.Marshal(v)
+	_ = b
+}
+
+// EmitAll reaches the sink transitively from inside a map range.
+func EmitAll(m map[string]int) {
+	for _, v := range m {
+		emitOne(v) // want `a determinism-sink event \(via emitOne\) emitted inside a range over a map`
+	}
+}

@@ -22,9 +22,14 @@ import (
 // Naive is the unoptimized painter's algorithm of Figure 7: one flat
 // history per field, scanned in full for every launch.
 type Naive struct {
-	tree  *region.Tree
-	opts  core.Options
-	hist  map[field.ID][]core.Entry
+	tree *region.Tree
+	opts core.Options
+	// hist is the per-field paint history, appended by every Analyze with
+	// no lock: the analyzer runs on exactly one goroutine.
+	//
+	// confined to analyzer
+	hist map[field.ID][]core.Entry
+	// confined to analyzer
 	stats core.Stats
 }
 
@@ -37,6 +42,8 @@ func NewNaive(tree *region.Tree, opts core.Options) *Naive {
 func (n *Naive) Name() string { return "paint-naive" }
 
 // Stats implements core.Analyzer.
+//
+// confined to analyzer
 func (n *Naive) Stats() *core.Stats { return &n.stats }
 
 func (n *Naive) histFor(f field.ID) []core.Entry {
@@ -49,6 +56,8 @@ func (n *Naive) histFor(f field.ID) []core.Entry {
 }
 
 // Analyze implements core.Analyzer.
+//
+// confined to analyzer
 func (n *Naive) Analyze(t *Task) *core.Result {
 	span := n.opts.Spans.Begin("paint-naive.analyze", "analysis")
 	defer span.End()

@@ -18,12 +18,22 @@ import (
 // is snapshotted into a composite view appended to the common ancestor's
 // history, preserving the relative order of interfering operations.
 type Painter struct {
-	tree      *region.Tree
-	opts      core.Options
-	state     map[field.ID]*fieldState
-	stats     core.Stats
+	tree *region.Tree
+	opts core.Options
+	// state holds the per-field paint histories, mutated by every Analyze
+	// with no lock: the analyzer runs on exactly one goroutine (the
+	// submit side, §3.2).
+	//
+	// confined to analyzer
+	state map[field.ID]*fieldState
+	// confined to analyzer
+	stats core.Stats
+	// confined to analyzer
 	partCache map[int]*region.Partition
-	nextToken int64 // unique composite-view ids for replication tracking
+	// nextToken issues unique composite-view ids for replication tracking.
+	//
+	// confined to analyzer
+	nextToken int64
 
 	// DisablePruning turns off occlusion pruning (deleting history items
 	// fully covered by later writes, §5.1) — an ablation knob for
@@ -40,6 +50,8 @@ func NewPainter(tree *region.Tree, opts core.Options) *Painter {
 func (pa *Painter) Name() string { return "paint" }
 
 // Stats implements core.Analyzer.
+//
+// confined to analyzer
 func (pa *Painter) Stats() *core.Stats { return &pa.stats }
 
 // nodeKey identifies a region or partition node of the tree.
@@ -130,6 +142,8 @@ type pathStep struct {
 }
 
 // Analyze implements core.Analyzer.
+//
+// confined to analyzer
 func (pa *Painter) Analyze(t *core.Task) *core.Result {
 	span := pa.opts.Spans.Begin("paint.analyze", "analysis")
 	defer span.End()

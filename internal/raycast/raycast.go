@@ -35,9 +35,15 @@ const migrateAfter = 8
 
 // RayCast is the ray-casting coherence analyzer of §7.
 type RayCast struct {
-	tree  *region.Tree
-	opts  core.Options
+	tree *region.Tree
+	opts core.Options
+	// state holds the per-field interval lists and acceleration indexes,
+	// mutated by every Analyze with no lock: the analyzer runs on exactly
+	// one goroutine (the submit side, §3.2).
+	//
+	// confined to analyzer
 	state map[field.ID]*fieldState
+	// confined to analyzer
 	stats core.Stats
 }
 
@@ -50,6 +56,8 @@ func New(tree *region.Tree, opts core.Options) *RayCast {
 func (rc *RayCast) Name() string { return "raycast" }
 
 // Stats implements core.Analyzer.
+//
+// confined to analyzer
 func (rc *RayCast) Stats() *core.Stats { return &rc.stats }
 
 type eqset struct {
@@ -78,6 +86,8 @@ type fieldState struct {
 }
 
 // EquivalenceSets returns the number of live equivalence sets for field f.
+//
+// confined to analyzer
 func (rc *RayCast) EquivalenceSets(f field.ID) int {
 	fs, ok := rc.state[f]
 	if !ok {
@@ -95,6 +105,8 @@ func (rc *RayCast) EquivalenceSets(f field.ID) int {
 
 // SetSpaces returns the point sets of the live equivalence sets for field
 // f, for invariant checks in tests.
+//
+// confined to analyzer
 func (rc *RayCast) SetSpaces(f field.ID) []index.Space {
 	fs, ok := rc.state[f]
 	if !ok {
@@ -117,6 +129,8 @@ func (rc *RayCast) SetSpaces(f field.ID) []index.Space {
 
 // CurrentPartition returns the disjoint-complete partition currently
 // defining field f's buckets, or nil when the K-d fallback is active.
+//
+// confined to analyzer
 func (rc *RayCast) CurrentPartition(f field.ID) *region.Partition {
 	if fs, ok := rc.state[f]; ok {
 		return fs.dcp
@@ -399,6 +413,8 @@ func (rc *RayCast) forceMigrate(fs *fieldState, payload uint64) {
 }
 
 // Analyze implements core.Analyzer.
+//
+// confined to analyzer
 func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 	span := rc.opts.Spans.Begin("raycast.analyze", "analysis")
 	defer span.End()

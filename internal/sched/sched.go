@@ -27,11 +27,20 @@ import (
 // parallel, respecting only the analyzer-reported dependences.
 type Executor struct {
 	tree *region.Tree
+	// an is the dynamic dependence analyzer: analysis observes launches
+	// sequentially in program order (§3.2), so only the submitting
+	// goroutine may touch it — worker closures get their inputs through
+	// the mu-guarded tables below.
+	//
+	// confined to sched-submit
 	an   core.Analyzer
 	init map[field.ID]*data.Store
 
 	procs []*event.Processor
-	next  int
+	// next is the round-robin processor cursor.
+	//
+	// confined to sched-submit
+	next int
 
 	mu        sync.Mutex
 	committed map[commitKey]*data.Store // guarded by mu
@@ -127,6 +136,8 @@ func NewExecutorFault(tree *region.Tree, an core.Analyzer, init map[field.ID]*da
 }
 
 // Analyzer returns the executor's analyzer (for stats inspection).
+//
+// confined to sched-submit
 func (x *Executor) Analyzer() core.Analyzer { return x.an }
 
 // Submit analyzes t in program order and schedules its kernel; it returns
@@ -134,6 +145,8 @@ func (x *Executor) Analyzer() core.Analyzer { return x.an }
 // on the worker after inputs are materialized and before outputs commit,
 // with the task's materialized inputs (indexed by requirement; reduce
 // requirements have nil inputs).
+//
+// confined to sched-submit
 func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.Store)) *event.Event {
 	x.rec.Log(recorder.KindTaskLaunch, int64(t.ID), int64(len(t.Reqs)))
 	res := x.an.Analyze(t)

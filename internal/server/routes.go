@@ -276,10 +276,11 @@ func (srv *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 
 // --- query endpoints (sync jobs: FIFO behind submitted batches) ---------
 
-// regionParam resolves the ?region= query on the worker goroutine.
-func regionParam(s *session, r *http.Request) (string, func() *visibility.Region) {
-	name := r.URL.Query().Get("region")
-	return name, func() *visibility.Region { return s.env.Region(name) }
+// regionParam extracts the ?region= query. The name is resolved against
+// the session environment inside each handler's sync job, never on the
+// HTTP goroutine: the environment belongs to the session worker.
+func regionParam(r *http.Request) string {
+	return r.URL.Query().Get("region")
 }
 
 func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -287,14 +288,14 @@ func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
-	name, resolve := regionParam(s, r)
+	name := regionParam(r)
 	field := r.URL.Query().Get("field")
 	var (
 		rows    [][]float64
 		missing string
 	)
 	err := srv.doSync(s, traceContext(r), func() {
-		reg := resolve()
+		reg := s.env.Region(name)
 		if reg == nil {
 			missing = "region " + name
 			return
@@ -328,13 +329,13 @@ func (srv *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
-	name, resolve := regionParam(s, r)
+	name := regionParam(r)
 	var (
 		tasks   []visibility.TaskInfo
 		missing string
 	)
 	err := srv.doSync(s, traceContext(r), func() {
-		reg := resolve()
+		reg := s.env.Region(name)
 		if reg == nil {
 			missing = "region " + name
 			return
@@ -360,14 +361,14 @@ func (srv *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
-	name, resolve := regionParam(s, r)
+	name := regionParam(r)
 	var (
 		buf     bytes.Buffer
 		missing string
 		dotErr  error
 	)
 	err := srv.doSync(s, traceContext(r), func() {
-		reg := resolve()
+		reg := s.env.Region(name)
 		if reg == nil {
 			missing = "region " + name
 			return

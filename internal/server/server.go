@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -199,6 +200,12 @@ var errTooManySessions = fmt.Errorf("session limit reached")
 
 // createSession builds a new session. restore, when non-nil, is applied
 // to seed the runtime from a checkpoint before the worker starts.
+//
+// The seed callback constructs the runtime the worker will own: it runs
+// before the worker goroutine exists, so it holds the ownership that the
+// worker inherits the moment run starts.
+//
+//confined:callbacks session-worker
 func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg visibility.Config) (*visibility.Runtime, *wire.Env, error)) (*session, error) {
 	if algorithm == "" {
 		algorithm = "raycast"
@@ -261,6 +268,9 @@ func (srv *Server) sessionList() []*session {
 	for _, s := range srv.sessions {
 		out = append(out, s)
 	}
+	// Deterministic order: janitor expiry and metrics merging walk this
+	// list, and the recorder events they emit are compared across runs.
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
@@ -346,6 +356,8 @@ func (srv *Server) submit(s *session, j job) error {
 
 // doSync runs fn on the session worker and waits, through full admission.
 // tc, when valid, parents the queue-wait and analysis spans the job emits.
+//
+//confined:callbacks session-worker
 func (srv *Server) doSync(s *session, tc obs.TraceContext, fn func()) error {
 	j := job{fn: fn, done: make(chan struct{}), tc: tc}
 	if err := srv.submit(s, j); err != nil {

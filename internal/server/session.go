@@ -26,8 +26,12 @@ type session struct {
 	seq       int64 // numeric id journaled in flight-recorder events
 
 	// rt and env are touched only by the worker goroutine (and by the
-	// creating goroutine before the worker starts).
-	rt  *visibility.Runtime
+	// creating goroutine before the worker starts — createSession's
+	// factory callbacks run in the worker's domain by handoff).
+	//
+	// confined to session-worker
+	rt *visibility.Runtime
+	// confined to session-worker
 	env *wire.Env
 
 	// metrics and spans are this session's private observability surface;
@@ -51,6 +55,10 @@ type session struct {
 // worker records the queue wait as a child span and installs tc on the
 // session span buffer so analysis spans parent under the HTTP span.
 type job struct {
+	// fn is the job body; it executes only on the session worker
+	// goroutine, inside run's recover envelope.
+	//
+	// confined to session-worker
 	fn   func()
 	done chan struct{} // nil for fire-and-forget jobs
 	tc   obs.TraceContext
@@ -87,6 +95,8 @@ func (srv *Server) newSession(id, algorithm string, tracing bool, rt *visibility
 // run is the worker loop: it drains jobs until the channel closes, then
 // releases the runtime. Every accepted job runs exactly once, even during
 // close, so sync callers never hang.
+//
+// confined to session-worker
 func (s *session) run() {
 	defer close(s.done)
 	for j := range s.jobs {

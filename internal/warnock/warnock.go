@@ -25,12 +25,21 @@ import (
 
 // Warnock is the equivalence-set coherence analyzer of §6.
 type Warnock struct {
-	tree  *region.Tree
-	opts  core.Options
+	tree *region.Tree
+	opts core.Options
+	// state holds the per-field refinement trees and memo tables, mutated
+	// by every Analyze with no lock: the analyzer runs on exactly one
+	// goroutine (the submit side, §3.2).
+	//
+	// confined to analyzer
 	state map[field.ID]*fieldState
+	// confined to analyzer
 	stats core.Stats
 
-	nextToken int64 // unique ids for refinement-tree nodes across fields
+	// nextToken issues unique ids for refinement-tree nodes across fields.
+	//
+	// confined to analyzer
+	nextToken int64
 
 	// DisableMemo turns off the per-region memoization of constituent
 	// equivalence sets (§6.1), so every lookup descends from the root —
@@ -47,10 +56,14 @@ func New(tree *region.Tree, opts core.Options) *Warnock {
 func (w *Warnock) Name() string { return "warnock" }
 
 // Stats implements core.Analyzer.
+//
+// confined to analyzer
 func (w *Warnock) Stats() *core.Stats { return &w.stats }
 
 // EquivalenceSets returns the number of live (leaf) equivalence sets for
 // field f, for tests and the experiment harness.
+//
+// confined to analyzer
 func (w *Warnock) EquivalenceSets(f field.ID) int {
 	fs, ok := w.state[f]
 	if !ok {
@@ -73,6 +86,8 @@ func (w *Warnock) EquivalenceSets(f field.ID) int {
 
 // SetSpaces returns the point sets of the live equivalence sets for field
 // f, for invariant checks in tests.
+//
+// confined to analyzer
 func (w *Warnock) SetSpaces(f field.ID) []index.Space {
 	fs, ok := w.state[f]
 	if !ok {
@@ -275,6 +290,8 @@ func (w *Warnock) refine(fs *fieldState, regionID int, sp index.Space) []*bnode 
 }
 
 // Analyze implements core.Analyzer.
+//
+// confined to analyzer
 func (w *Warnock) Analyze(t *core.Task) *core.Result {
 	span := w.opts.Spans.Begin("warnock.analyze", "analysis")
 	defer span.End()

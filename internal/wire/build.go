@@ -15,10 +15,18 @@ import (
 //
 // Env is not safe for concurrent use — like the Runtime it wraps, all
 // calls must come from one goroutine.
+// Env's tables are read and written by whichever single goroutine owns
+// the environment (in the analysis service, the session worker); the
+// exported methods are that owner's entry points.
+//
+// confined to env-owner
 type Env struct {
-	rt      *visibility.Runtime
+	// confined to env-owner
+	rt *visibility.Runtime
+	// confined to env-owner
 	regions map[string]*visibility.Region
-	parts   map[string]*visibility.Partition
+	// confined to env-owner
+	parts map[string]*visibility.Partition
 }
 
 // NewEnv creates an empty environment over rt.
@@ -33,6 +41,8 @@ func NewEnv(rt *visibility.Runtime) *Env {
 // EnvFromRestore builds an environment over a restored runtime, adopting
 // every root region (and its named partitions) so wire references resolve
 // against the checkpointed state.
+//
+// confined to env-owner
 func EnvFromRestore(rt *visibility.Runtime, roots map[string]*visibility.Region) (*Env, error) {
 	e := NewEnv(rt)
 	for _, r := range roots {
@@ -45,6 +55,8 @@ func EnvFromRestore(rt *visibility.Runtime, roots map[string]*visibility.Region)
 
 // Adopt registers an existing root region and its partitions into the
 // environment's namespace.
+//
+// confined to env-owner
 func (e *Env) Adopt(r *visibility.Region) error {
 	if err := e.claim(r.Name()); err != nil {
 		return err
@@ -71,10 +83,14 @@ func (e *Env) claim(name string) error {
 }
 
 // Region returns the declared root region with the given name, or nil.
+//
+// confined to env-owner
 func (e *Env) Region(name string) *visibility.Region { return e.regions[name] }
 
 // Regions returns the declared root region names (unsorted map iteration
 // does not escape: callers sort or look up by name).
+//
+// confined to env-owner
 func (e *Env) Regions() []*visibility.Region {
 	out := make([]*visibility.Region, 0, len(e.regions))
 	for _, r := range e.regions {
@@ -111,6 +127,8 @@ func (e *Env) resolve(ref string) (*visibility.Region, error) {
 // first launch: every declaration name is checked against the session
 // namespace and every task reference is resolved before anything runs, so
 // a rejected workload leaves the runtime exactly as it found it.
+//
+// confined to env-owner
 func (e *Env) Apply(wl *Workload) ([]visibility.Future, error) {
 	if err := wl.Validate(); err != nil {
 		return nil, err

@@ -50,11 +50,11 @@ func TestDecodeRejects(t *testing.T) {
 		{"partition unknown kind", region(`,"partitions":[{"name":"p","kind":"spiral"}]`), "unknown kind"},
 		{"equal too many pieces", region(`,"partitions":[{"name":"p","kind":"equal","pieces":99}]`), "99 equal pieces"},
 		{"explicit piece escapes", region(`,"partitions":[{"name":"p","kind":"explicit","spaces":[[[0,50]]]}]`), "not a subset"},
-		{"image dangling source", region(`,"partitions":[{"name":"p","kind":"image","source":"q",`+
+		{"image dangling source", region(`,"partitions":[{"name":"p","kind":"image","source":"q",` +
 			`"relation":{"name":"ring","args":{"radius":1,"modulo":10}}}]`), "unknown partition"},
-		{"image missing relation", region(`,"partitions":[{"name":"q","kind":"equal","pieces":2},`+
+		{"image missing relation", region(`,"partitions":[{"name":"q","kind":"equal","pieces":2},` +
 			`{"name":"p","kind":"image","source":"q"}]`), "needs a relation"},
-		{"minus mismatched pieces", region(`,"partitions":[{"name":"a","kind":"equal","pieces":2},`+
+		{"minus mismatched pieces", region(`,"partitions":[{"name":"a","kind":"equal","pieces":2},` +
 			`{"name":"b","kind":"equal","pieces":5},{"name":"p","kind":"minus","left":"a","right":"b"}]`),
 			"2 and 5 pieces"},
 		{"bycolor missing color", region(`,"partitions":[{"name":"p","kind":"bycolor","pieces":2}]`), "needs a color"},

@@ -160,10 +160,20 @@ type Config struct {
 // partitions first, then launch tasks; the first launch freezes the
 // initial region contents. A Runtime's methods must be called from a
 // single goroutine (task kernels themselves run in parallel).
+// A Runtime and everything it creates (regions, partitions, futures,
+// snapshots) belong to the goroutine that drives it: the single-goroutine
+// rule of dynamic dependence analysis (§3.2). The exported methods are
+// the owner's entry points; none of the state below carries a lock.
+//
+// confined to runtime-owner
 type Runtime struct {
-	cfg        Config
-	regions    []*Region
-	registered map[string]bool // computed-metric prefixes claimed on cfg.Metrics
+	cfg Config
+	// confined to runtime-owner
+	regions []*Region
+	// registered tracks computed-metric prefixes claimed on cfg.Metrics.
+	//
+	// confined to runtime-owner
+	registered map[string]bool
 }
 
 // New creates a runtime.
@@ -208,6 +218,8 @@ type treeState struct {
 // CreateRegion creates a top-level region over space with the given
 // fields. Every field starts zero-filled; use Fill or Init to set initial
 // contents before the first launch.
+//
+// confined to runtime-owner
 func (rt *Runtime) CreateRegion(name string, space IndexSpace, fields ...string) *Region {
 	if len(fields) == 0 {
 		panic("visibility: a region needs at least one field")
@@ -233,6 +245,8 @@ func (rt *Runtime) CreateRegion(name string, space IndexSpace, fields ...string)
 }
 
 // Region returns the root region created with the given name, or nil.
+//
+// confined to runtime-owner
 func (rt *Runtime) Region(name string) *Region {
 	for _, r := range rt.regions {
 		if r.reg.Name == name {
@@ -480,6 +494,8 @@ func (f Future) Done() bool { return f.ev.HasTriggered() }
 // Launch submits a task. The dependence analysis observes launches in call
 // order (program order); execution is parallel, constrained only by
 // discovered dependences. Launch returns immediately.
+//
+// confined to runtime-owner
 func (rt *Runtime) Launch(spec TaskSpec) Future {
 	if len(spec.Accesses) == 0 {
 		panic("visibility: task needs at least one access")
@@ -586,6 +602,8 @@ func (rt *Runtime) freeze(ts *treeState) {
 // containing r; requires Config.Tracing. The launches up to the matching
 // EndTrace form the trace: its first instance records, and later
 // contiguous, structurally identical instances replay without analysis.
+//
+// confined to runtime-owner
 func (rt *Runtime) BeginTrace(r *Region, id int) {
 	rt.freeze(r.tree)
 	if r.tree.tracer == nil {
@@ -595,6 +613,8 @@ func (rt *Runtime) BeginTrace(r *Region, id int) {
 }
 
 // EndTrace finishes the current trace instance on r's tree.
+//
+// confined to runtime-owner
 func (rt *Runtime) EndTrace(r *Region) {
 	if r.tree.tracer == nil {
 		panic("visibility: EndTrace requires Config.Tracing")
@@ -604,6 +624,8 @@ func (rt *Runtime) EndTrace(r *Region) {
 
 // TraceStats returns tracing counters for r's tree (zero when tracing is
 // disabled or nothing has launched).
+//
+// confined to runtime-owner
 func (rt *Runtime) TraceStats(r *Region) trace.Stats {
 	if r.tree.tracer == nil {
 		return trace.Stats{}
@@ -632,6 +654,8 @@ func (k *kernelAdapter) ReduceValue(t *core.Task, ri int, p Point) float64 {
 // Read materializes the current contents of a region's field through the
 // coherence algorithm, waiting for every contributing task. It is itself a
 // task launch (an inline mapping) and participates in dependence analysis.
+//
+// confined to runtime-owner
 func (rt *Runtime) Read(r *Region, fieldName string) *Snapshot {
 	ts := r.tree
 	rt.freeze(ts)
@@ -652,6 +676,8 @@ func (rt *Runtime) Read(r *Region, fieldName string) *Snapshot {
 }
 
 // Wait blocks until every launched task has completed.
+//
+// confined to runtime-owner
 func (rt *Runtime) Wait() {
 	for _, r := range rt.regions {
 		if r.tree.exec != nil {
@@ -662,6 +688,8 @@ func (rt *Runtime) Wait() {
 
 // Close waits for completion and releases worker resources. The runtime
 // cannot be used afterwards.
+//
+// confined to runtime-owner
 func (rt *Runtime) Close() {
 	for _, r := range rt.regions {
 		if r.tree.exec != nil {
@@ -673,6 +701,8 @@ func (rt *Runtime) Close() {
 
 // Stats returns the coherence analyzer's operation counters for the tree
 // containing r.
+//
+// confined to runtime-owner
 func (rt *Runtime) Stats(r *Region) core.Stats {
 	if r.tree.exec == nil {
 		return core.Stats{}
@@ -694,6 +724,8 @@ type TaskInfo struct {
 // containing r, one entry per launch in program order. It must be called
 // from the launching goroutine, like every other Runtime method; nil when
 // nothing has launched.
+//
+// confined to runtime-owner
 func (rt *Runtime) Dependences(r *Region) []TaskInfo {
 	ts := r.tree
 	if ts.exec == nil {
@@ -710,6 +742,8 @@ func (rt *Runtime) Dependences(r *Region) []TaskInfo {
 
 // WriteDOT renders the discovered dependence graph of the tree containing
 // r in Graphviz format.
+//
+// confined to runtime-owner
 func (rt *Runtime) WriteDOT(r *Region, w io.Writer) error {
 	ts := r.tree
 	if ts.exec == nil {
