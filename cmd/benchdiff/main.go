@@ -1,0 +1,81 @@
+// Command benchdiff compares two VISBENCH1 benchmark records and prints
+// a per-cell delta table: wall-clock launch throughput, allocations and
+// bytes per launch, p95 analysis latency, and the deterministic
+// virtual-time iteration cost, each with its percent change against the
+// baseline. It is the regression gate of the benchmark trajectory: CI
+// runs a pinned cell set, diffs it against the committed BENCH_<n>.json,
+// and fails the build when a threshold is exceeded.
+//
+// Usage:
+//
+//	benchdiff [-max-regress pct] [-max-alloc-growth pct]
+//	          [-max-virt-regress pct] baseline.json new.json
+//
+// Thresholds are disabled at 0 (the default), so a bare benchdiff is a
+// reporting tool that always exits 0 on comparable records. With gates
+// enabled the exit code is 1 when any cell breaches, 2 on usage or
+// decoding errors. Wall-clock numbers are only comparable on the same
+// machine; cross-machine gates should rely on -max-virt-regress (virtual
+// time replays identically everywhere) and -max-alloc-growth
+// (allocation counts are near-deterministic), with -max-regress set
+// generously or left off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"visibility/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// complain writes a diagnostic; if stderr itself is broken there is
+// nowhere left to report, so the write error is dropped here, in
+// exactly one place.
+func complain(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxRegress := fs.Float64("max-regress", 0, "fail when launches/sec drops more than this percent (0 = off)")
+	maxAlloc := fs.Float64("max-alloc-growth", 0, "fail when allocs/launch grows more than this percent (0 = off)")
+	maxVirt := fs.Float64("max-virt-regress", 0, "fail when virtual iteration time grows more than this percent (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		complain(stderr, "usage: benchdiff [flags] baseline.json new.json")
+		return 2
+	}
+	prev, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		complain(stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := bench.ReadFile(fs.Arg(1))
+	if err != nil {
+		complain(stderr, "benchdiff:", err)
+		return 2
+	}
+	rep := bench.Diff(prev, cur, bench.Thresholds{
+		MaxRegressPct:     *maxRegress,
+		MaxAllocGrowthPct: *maxAlloc,
+		MaxVirtRegressPct: *maxVirt,
+	})
+	if err := rep.WriteTable(stdout); err != nil {
+		complain(stderr, "benchdiff:", err)
+		return 2
+	}
+	if rep.Breached {
+		complain(stderr, "benchdiff: regression thresholds exceeded")
+		return 1
+	}
+	return 0
+}

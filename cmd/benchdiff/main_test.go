@@ -1,0 +1,104 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"visibility/internal/bench"
+)
+
+// writeRecord writes a two-cell record to dir, scaling throughput by
+// factor, and returns the path.
+func writeRecord(t *testing.T, dir, name string, factor float64) string {
+	t.Helper()
+	rec := &bench.Record{
+		Meta: bench.Meta{
+			Schema: bench.Schema, Commit: "test", GoVersion: "go1.24.0",
+			GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4,
+			Reps: 3, Iters: 3, MaxNodes: 2, Apps: []string{"stencil"},
+		},
+		Cells: []bench.Cell{
+			{
+				App: "stencil", System: "raycast_dcr", Nodes: 1, Launches: 100,
+				WallSeconds: 0.01 / factor, LaunchesPerSec: 10000 * factor,
+				InitTime: 0.01, IterTime: 0.002, ThroughputPerNode: 1000,
+				AllocsPerLaunch: 40, BytesPerLaunch: 3000,
+				AnalysisP50Ns: 1000, AnalysisP95Ns: 2000, AnalysisP99Ns: 3000,
+			},
+			{
+				App: "stencil", System: "raycast_dcr", Nodes: 2, Launches: 200,
+				WallSeconds: 0.02 / factor, LaunchesPerSec: 10000 * factor,
+				InitTime: 0.011, IterTime: 0.0021, ThroughputPerNode: 990,
+				AllocsPerLaunch: 41, BytesPerLaunch: 3100,
+				AnalysisP50Ns: 1100, AnalysisP95Ns: 2100, AnalysisP99Ns: 3100,
+			},
+		},
+	}
+	path := filepath.Join(dir, name)
+	if err := bench.WriteFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSelfDiffExitsZero is the acceptance check: diffing a record
+// against itself exits 0 and renders an all-zero delta table.
+func TestSelfDiffExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "BENCH_a.json", 1)
+	var out, errOut strings.Builder
+	code := run([]string{"-max-regress", "5", "-max-alloc-growth", "5", "-max-virt-regress", "5", base, base}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("self-diff exit = %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "stencil/raycast_dcr/n1") || !strings.Contains(s, "+0.0") {
+		t.Errorf("missing all-zero delta rows:\n%s", s)
+	}
+	if strings.Contains(s, "REGRESSION") {
+		t.Errorf("self-diff reported a regression:\n%s", s)
+	}
+	if !strings.Contains(s, "aggregate launches/sec") {
+		t.Errorf("missing aggregate line:\n%s", s)
+	}
+}
+
+// TestSyntheticRegressionFailsGate: a 50% throughput loss must exit
+// non-zero under -max-regress 10 — the contract the CI perf job gates on.
+func TestSyntheticRegressionFailsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "BENCH_base.json", 1)
+	slow := writeRecord(t, dir, "BENCH_slow.json", 0.5)
+	var out, errOut strings.Builder
+	code := run([]string{"-max-regress", "10", base, slow}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("50%% regression exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "launches/sec -50.0%") {
+		t.Errorf("table does not name the -50%% breach:\n%s", out.String())
+	}
+	// Without the gate the same pair is just a report.
+	if code := run([]string{base, slow}, &strings.Builder{}, &strings.Builder{}); code != 0 {
+		t.Errorf("ungated diff exit = %d, want 0", code)
+	}
+	// The improvement direction never fails.
+	if code := run([]string{"-max-regress", "10", slow, base}, &strings.Builder{}, &strings.Builder{}); code != 0 {
+		t.Errorf("improvement exit = %d, want 0", code)
+	}
+}
+
+func TestUsageAndDecodeErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"only-one.json"}, &out, &errOut); code != 2 {
+		t.Errorf("one arg exit = %d, want 2", code)
+	}
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "BENCH_a.json", 1)
+	if code := run([]string{base, filepath.Join(dir, "absent.json")}, &out, &errOut); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag", base, base}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

@@ -7,12 +7,24 @@
 // With -metrics-out it additionally dumps every experiment cell's full
 // metrics-registry snapshot — analyzer operation counts, cluster message
 // tallies, per-launch cost histograms — as a deterministic JSON array.
+// With -reps N every cell is repeated and aggregated min-of-reps before
+// snapshotting, and the output records the repetition count.
 //
 // Usage:
 //
 //	visbench [-app stencil|circuit|pennant|all] [-metric init|weak|all]
 //	         [-max-nodes 512] [-iters 3] [-format figure|tsv] [-reps 1]
 //	         [-stats] [-metrics-out cells.json] [-list]
+//
+// -json switches to benchmark-record collection: cells run serially
+// (wall-clock timing, ReadMemStats allocation deltas, and analysis-span
+// latency quantiles are process-global measurements) and the pinned
+// VISBENCH1 record lands in the named file ("-" for stdout) for
+// cmd/benchdiff and the committed BENCH_<n>.json trajectory. -profile-out
+// additionally captures per-cell pprof CPU and heap profiles:
+//
+//	visbench -json BENCH_8.json [-profile-out profiles/]
+//	         [-app all] [-max-nodes 32] [-iters 3] [-reps 3]
 //
 // -list prints the registered applications (with the paper figures they
 // reproduce), coherence algorithms, and system configurations, all drawn
@@ -34,9 +46,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strings"
 
 	"visibility/internal/algo"
 	"visibility/internal/apps"
+	"visibility/internal/bench"
 	"visibility/internal/fault"
 	"visibility/internal/harness"
 
@@ -57,6 +72,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print analyzer operation counts per cell")
 	tracing := flag.Bool("tracing", false, "enable dynamic tracing (the paper disables it; see §8)")
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics snapshots as JSON to this file (\"-\" for stdout)")
+	jsonOut := flag.String("json", "", "collect a VISBENCH1 benchmark record into this file (\"-\" for stdout) instead of printing figures")
+	profileOut := flag.String("profile-out", "", "with -json: write per-cell pprof CPU+heap profiles into this directory")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos crosscheck instead of the benchmarks")
 	seeds := flag.Int("seeds", 20, "with -chaos: number of consecutive seeds to run")
 	chaosSeed := flag.Int64("chaos-seed", 1, "with -chaos: first workload seed")
@@ -82,12 +99,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "visbench: unknown app %q (have %v)\n", *appFlag, apps.Names())
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		os.Exit(runBenchRecord(*jsonOut, *profileOut, names, *maxNodes, *iters, *reps))
+	}
+	if *profileOut != "" {
+		fmt.Fprintln(os.Stderr, "visbench: -profile-out requires -json (profiles are captured per benchmark-record cell)")
+		os.Exit(2)
+	}
 	figureOf := harness.Figures()
 
 	var allResults []*harness.Result
 	for _, name := range names {
 		builder, _ := apps.Lookup(name)
-		results, err := harness.SweepTraced(builder, name, *maxNodes, *iters, *tracing)
+		results, err := harness.SweepReps(builder, name, *maxNodes, *iters, *reps, *tracing)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
 			os.Exit(1)
@@ -147,6 +171,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runBenchRecord collects a pinned VISBENCH1 benchmark record over the
+// named apps and writes it to out ("-" for stdout), optionally capturing
+// per-cell pprof profiles. Returns the process exit code.
+func runBenchRecord(out, profileDir string, names []string, maxNodes, iters, reps int) int {
+	rec, err := bench.Collect(bench.Options{
+		Apps: names, MaxNodes: maxNodes, Iters: iters, Reps: reps,
+		Commit: gitCommit(), ProfileDir: profileDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+		return 1
+	}
+	if out == "-" {
+		if err := rec.Encode(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := bench.WriteFile(out, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %d cells to %s (commit %s, reps %d, aggregate %.0f launches/sec)\n",
+		len(rec.Cells), out, rec.Meta.Commit, rec.Meta.Reps, rec.AggregateLaunchesPerSec())
+	return 0
+}
+
+// gitCommit names the measured code in record metadata: the short commit
+// hash, or "unknown" outside a git checkout.
+func gitCommit() string {
+	hash, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(hash))
 }
 
 // runChaos drives the chaos crosscheck over n consecutive seeds. Each

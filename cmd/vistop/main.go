@@ -3,9 +3,11 @@
 // and renders three tables: per-endpoint HTTP traffic with latency
 // quantiles, per-session throughput and cache behavior, and the hottest
 // analysis phases by span time (where analysis wall-clock actually
-// goes). By default it redraws in place every two seconds; -plain
-// appends frames instead (for logs and pipes), and -frames bounds the
-// run for scripting.
+// goes). A header row summarizes the latest committed BENCH_<n>.json
+// benchmark record (see -bench), so live launch rates read against the
+// repo's measured trajectory baseline. By default it redraws in place
+// every two seconds; -plain appends frames instead (for logs and
+// pipes), and -frames bounds the run for scripting.
 package main
 
 import (
@@ -14,11 +16,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"visibility/internal/bench"
 	"visibility/internal/server/client"
 )
 
@@ -42,9 +46,13 @@ func run(args []string, stdout io.Writer) error {
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 	frames := fs.Int("frames", 0, "frames to render before exiting (0 = run until interrupted)")
 	plain := fs.Bool("plain", false, "append frames instead of redrawing the screen")
+	benchPath := fs.String("bench", ".", "BENCH_<n>.json file or directory holding the committed benchmark trajectory (\"\" hides the bench row)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The committed trajectory point doesn't move while watching a
+	// server, so the bench row is resolved once, not per frame.
+	benchLine := benchSummary(*benchPath)
 	c := client.New(*target)
 	var prev *sample
 	for frame := 0; *frames == 0 || frame < *frames; frame++ {
@@ -59,10 +67,49 @@ func run(args []string, stdout io.Writer) error {
 			say(stdout, "vistop: fetch: %v\n", err)
 			continue
 		}
-		render(stdout, *target, prev, cur, *plain)
+		render(stdout, *target, benchLine, prev, cur, *plain)
 		prev = cur
 	}
 	return nil
+}
+
+// benchSummary renders the one-line trajectory row from the latest
+// committed benchmark record: where the repo's measured baseline stands,
+// so live launch rates on the dashboard read against it at a glance.
+// Returns "" when there is nothing to show (no record, or disabled).
+func benchSummary(path string) string {
+	if path == "" {
+		return ""
+	}
+	file := path
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		if file = latestBenchFile(path); file == "" {
+			return ""
+		}
+	}
+	rec, err := bench.ReadFile(file)
+	if err != nil {
+		return fmt.Sprintf("bench · %s · unreadable: %v", filepath.Base(file), err)
+	}
+	return fmt.Sprintf("bench · %s · commit %s · aggregate %.0f launches/s over %d cells (reps %d)",
+		filepath.Base(file), rec.Meta.Commit, rec.AggregateLaunchesPerSec(), len(rec.Cells), rec.Meta.Reps)
+}
+
+// latestBenchFile returns the BENCH_<n>.json in dir with the highest n,
+// or "" when the directory holds none.
+func latestBenchFile(dir string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return ""
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err == nil && n > bestN {
+			bestN, best = n, m
+		}
+	}
+	return best
 }
 
 // sample is one poll of the server's observability surface.
@@ -127,7 +174,7 @@ func launches(m map[string]int64) int64 {
 }
 
 // render draws one frame.
-func render(w io.Writer, target string, prev, cur *sample, plain bool) {
+func render(w io.Writer, target, benchLine string, prev, cur *sample, plain bool) {
 	if !plain {
 		say(w, "\x1b[2J\x1b[H") // clear screen, home cursor
 	}
@@ -135,7 +182,11 @@ func render(w io.Writer, target string, prev, cur *sample, plain bool) {
 	if prev != nil {
 		dt = cur.at.Sub(prev.at)
 	}
-	say(w, "vistop · %s · %s · %d sessions\n\n", target, cur.at.Format("15:04:05"), len(cur.infos))
+	say(w, "vistop · %s · %s · %d sessions\n", target, cur.at.Format("15:04:05"), len(cur.infos))
+	if benchLine != "" {
+		say(w, "%s\n", benchLine)
+	}
+	say(w, "\n")
 	renderHTTP(w, prev, cur, dt)
 	renderSessions(w, prev, cur, dt)
 	renderHotSpots(w, cur)

@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"visibility/internal/bench"
 
 	"visibility/internal/server"
 	"visibility/internal/server/client"
@@ -105,5 +109,72 @@ func TestUnreachableTarget(t *testing.T) {
 	err := run([]string{"-target", "http://127.0.0.1:1", "-frames", "1"}, &buf)
 	if err == nil {
 		t.Fatal("run against an unreachable target succeeded")
+	}
+}
+
+// TestBenchSummary covers the trajectory row: the newest BENCH_<n>.json
+// in a directory wins (numerically, so 10 beats 9), the row carries the
+// aggregate launch rate and commit, and absent or disabled paths
+// produce no row.
+func TestBenchSummary(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, commit string, lps float64) {
+		t.Helper()
+		rec := &bench.Record{
+			Meta: bench.Meta{Schema: bench.Schema, Commit: commit, GoVersion: "go1.24.0",
+				GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, Reps: 3, Iters: 3, MaxNodes: 2,
+				Apps: []string{"stencil"}},
+			Cells: []bench.Cell{{
+				App: "stencil", System: "raycast_dcr", Nodes: 1, Launches: 1000,
+				WallSeconds: 1000 / lps, LaunchesPerSec: lps,
+				InitTime: 0.01, IterTime: 0.002, ThroughputPerNode: 1,
+				AllocsPerLaunch: 40, BytesPerLaunch: 3000,
+				AnalysisP50Ns: 1, AnalysisP95Ns: 2, AnalysisP99Ns: 3,
+			}},
+		}
+		if err := bench.WriteFile(filepath.Join(dir, name), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_9.json", "older00", 1000)
+	write("BENCH_10.json", "newer00", 2000)
+
+	line := benchSummary(dir)
+	for _, want := range []string{"BENCH_10.json", "newer00", "2000 launches/s", "reps 3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("bench row %q missing %q", line, want)
+		}
+	}
+	if got := benchSummary(filepath.Join(dir, "BENCH_9.json")); !strings.Contains(got, "older00") {
+		t.Errorf("explicit file ignored: %q", got)
+	}
+	if got := benchSummary(t.TempDir()); got != "" {
+		t.Errorf("empty dir produced a row: %q", got)
+	}
+	if got := benchSummary(""); got != "" {
+		t.Errorf("disabled path produced a row: %q", got)
+	}
+	// A present-but-corrupt record is surfaced, not silently dropped.
+	bad := filepath.Join(dir, "BENCH_11.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := benchSummary(bad); !strings.Contains(got, "unreadable") {
+		t.Errorf("corrupt record row = %q, want unreadable marker", got)
+	}
+}
+
+func TestLatestBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	if got := latestBenchFile(dir); got != "" {
+		t.Errorf("empty dir = %q, want \"\"", got)
+	}
+	for _, name := range []string{"BENCH_2.json", "BENCH_0.json", "BENCH_x.json", "notbench.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := latestBenchFile(dir); filepath.Base(got) != "BENCH_2.json" {
+		t.Errorf("latest = %q, want BENCH_2.json", got)
 	}
 }

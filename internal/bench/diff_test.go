@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// regress returns the sample record with one cell's throughput cut and
+// allocations grown by the given factors.
+func regress(throughputFactor, allocFactor, iterFactor float64) *Record {
+	r := sampleRecord()
+	for i := range r.Cells {
+		r.Cells[i].LaunchesPerSec *= throughputFactor
+		r.Cells[i].AllocsPerLaunch *= allocFactor
+		r.Cells[i].IterTime *= iterFactor
+	}
+	return r
+}
+
+func TestDiffSelfIsAllZero(t *testing.T) {
+	rep := Diff(sampleRecord(), sampleRecord(), Thresholds{MaxRegressPct: 1, MaxAllocGrowthPct: 1, MaxVirtRegressPct: 1})
+	if rep.Breached {
+		t.Error("self-diff breached thresholds")
+	}
+	if len(rep.Deltas) != 2 || len(rep.MissingInNew) != 0 || len(rep.MissingInOld) != 0 {
+		t.Fatalf("self-diff shape: %+v", rep)
+	}
+	for _, d := range rep.Deltas {
+		if d.LaunchesPerSecPct != 0 || d.AllocsPct != 0 || d.BytesPct != 0 || d.P95Pct != 0 || d.IterTimePct != 0 {
+			t.Errorf("self-diff cell %s has nonzero deltas: %+v", d.Key, d)
+		}
+	}
+	var buf strings.Builder
+	if err := rep.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "+0.0") || strings.Contains(out, "REGRESSION") {
+		t.Errorf("self-diff table not all-zero:\n%s", out)
+	}
+}
+
+// TestDiffCatchesThroughputRegression is the gate the CI perf job relies
+// on: a synthetic 50% launches/sec loss must breach a 10% threshold.
+func TestDiffCatchesThroughputRegression(t *testing.T) {
+	rep := Diff(sampleRecord(), regress(0.5, 1, 1), Thresholds{MaxRegressPct: 10})
+	if !rep.Breached {
+		t.Fatal("50% throughput loss did not breach a 10% gate")
+	}
+	var buf strings.Builder
+	if err := rep.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") || !strings.Contains(buf.String(), "launches/sec") {
+		t.Errorf("table does not name the breached gate:\n%s", buf.String())
+	}
+	// The same loss passes with the gate disabled (0) or set above 50%.
+	if Diff(sampleRecord(), regress(0.5, 1, 1), Thresholds{}).Breached {
+		t.Error("disabled gates still breached")
+	}
+	if Diff(sampleRecord(), regress(0.5, 1, 1), Thresholds{MaxRegressPct: 60}).Breached {
+		t.Error("50% loss breached a 60% gate")
+	}
+}
+
+func TestDiffCatchesAllocAndVirtGrowth(t *testing.T) {
+	if !Diff(sampleRecord(), regress(1, 1.5, 1), Thresholds{MaxAllocGrowthPct: 20}).Breached {
+		t.Error("50% alloc growth did not breach a 20% gate")
+	}
+	if !Diff(sampleRecord(), regress(1, 1, 1.3), Thresholds{MaxVirtRegressPct: 10}).Breached {
+		t.Error("30% virtual iter-time growth did not breach a 10% gate")
+	}
+	// Improvements never breach.
+	if Diff(sampleRecord(), regress(2, 0.5, 0.5), Thresholds{MaxRegressPct: 1, MaxAllocGrowthPct: 1, MaxVirtRegressPct: 1}).Breached {
+		t.Error("an across-the-board improvement breached")
+	}
+}
+
+func TestDiffMissingCells(t *testing.T) {
+	prev, cur := sampleRecord(), sampleRecord()
+	// Keep only the first canonical cell, then add one with no baseline.
+	cur.Sort()
+	cur.Cells = cur.Cells[:1]
+	extra := sampleRecord().Cells[0]
+	extra.System = "warnock_dcr"
+	cur.Cells = append(cur.Cells, extra)
+	rep := Diff(prev, cur, Thresholds{})
+	if len(rep.MissingInNew) != 1 {
+		t.Errorf("MissingInNew = %v, want one entry", rep.MissingInNew)
+	}
+	if len(rep.MissingInOld) != 1 || !strings.Contains(rep.MissingInOld[0], "warnock_dcr") {
+		t.Errorf("MissingInOld = %v, want the warnock cell", rep.MissingInOld)
+	}
+	if rep.Breached {
+		t.Error("missing cells alone must not breach")
+	}
+}
+
+func TestAggregateLaunchesPerSec(t *testing.T) {
+	r := sampleRecord()
+	// 1500 launches over 0.075 s = 20000/s.
+	if got := r.AggregateLaunchesPerSec(); got < 19999 || got > 20001 {
+		t.Errorf("aggregate = %v, want 20000", got)
+	}
+	if got := (&Record{}).AggregateLaunchesPerSec(); got != 0 {
+		t.Errorf("empty record aggregate = %v, want 0", got)
+	}
+}

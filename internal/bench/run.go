@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"visibility/internal/apps"
+	"visibility/internal/harness"
+	"visibility/internal/obs"
+)
+
+// Options configures one benchmark collection.
+type Options struct {
+	// Apps are the application names to measure (resolved through the
+	// apps registry; the caller's blank imports decide what is
+	// registered).
+	Apps []string
+	// MaxNodes bounds the power-of-two machine-size sweep.
+	MaxNodes int
+	// Iters is the number of steady-state iterations timed per run
+	// (0 = harness default of 3).
+	Iters int
+	// Reps repeats every cell and aggregates min-of-reps (best
+	// throughput, fewest allocations, lowest latency) — the repetition
+	// discipline that makes wall-clock numbers comparable across runs.
+	// 0 or 1 measures once.
+	Reps int
+	// Commit identifies the measured code in the record's metadata
+	// (empty = "unknown").
+	Commit string
+	// ProfileDir, when non-empty, receives per-cell pprof profiles:
+	// <app>_<system>_n<nodes>.cpu.pprof covering the cell's repetitions
+	// and a matching .heap.pprof taken after them, for offline hot-path
+	// attribution with `go tool pprof`.
+	ProfileDir string
+	// SpanCapacity bounds the per-run span ring the latency quantiles
+	// are computed from (0 = a default that comfortably holds the
+	// default sweeps). If a run records more analysis spans than this,
+	// the quantiles cover the most recent SpanCapacity spans.
+	SpanCapacity int
+}
+
+// Collect measures every cell of the configured sweep and returns the
+// assembled record. Cells run serially — never in parallel — because the
+// wall-clock measurements (time, ReadMemStats allocation deltas, CPU
+// profiles) are process-global and concurrent cells would pollute each
+// other; a collection is a measurement session, not a throughput race.
+func Collect(opts Options) (*Record, error) {
+	reps := opts.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	spanCap := opts.SpanCapacity
+	if spanCap <= 0 {
+		spanCap = 1 << 17
+	}
+	commit := opts.Commit
+	if commit == "" {
+		commit = "unknown"
+	}
+	if opts.ProfileDir != "" {
+		if err := os.MkdirAll(opts.ProfileDir, 0o755); err != nil {
+			return nil, fmt.Errorf("bench: profile dir: %w", err)
+		}
+	}
+	appNames := append([]string(nil), opts.Apps...)
+	sort.Strings(appNames)
+
+	rec := &Record{Meta: Meta{
+		Schema:     Schema,
+		Commit:     commit,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Iters:      opts.Iters,
+		MaxNodes:   opts.MaxNodes,
+		Apps:       appNames,
+	}}
+
+	for _, name := range appNames {
+		builder, ok := apps.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown app %q (have %v)", name, apps.Names())
+		}
+		for _, cfg := range harness.PaperConfigs() {
+			for _, nodes := range harness.NodeSweep(opts.MaxNodes) {
+				cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, nodes, opts.Iters, reps, spanCap, opts.ProfileDir)
+				if err != nil {
+					return nil, err
+				}
+				rec.Cells = append(rec.Cells, cell)
+			}
+		}
+	}
+	rec.Sort()
+	return rec, nil
+}
+
+// measureCell runs one cell reps times and folds the repetitions
+// min-of-reps: fastest wall time (hence best launches/sec), fewest
+// allocations per launch, lowest latency quantiles. The virtual-time
+// metrics are deterministic and identical across reps, so they are taken
+// from the last run.
+func measureCell(builder apps.Builder, app, algorithm string, dcr bool, nodes, iters, reps, spanCap int, profileDir string) (Cell, error) {
+	cell := Cell{App: app, System: harness.SystemName(algorithm, dcr), Nodes: nodes}
+
+	var cpuFile *os.File
+	if profileDir != "" {
+		base := filepath.Join(profileDir, fmt.Sprintf("%s_%s_n%d", app, cell.System, nodes))
+		f, err := os.Create(base + ".cpu.pprof")
+		if err != nil {
+			return cell, fmt.Errorf("bench: cpu profile: %w", err)
+		}
+		cpuFile = f
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return cell, fmt.Errorf("bench: cpu profile: %w", err)
+		}
+	}
+
+	for rep := 0; rep < reps; rep++ {
+		spans := obs.NewBuffer(spanCap)
+		// Settle the heap so the allocation delta belongs to this run,
+		// not to garbage carried over from the previous cell.
+		runtime.GC()
+		before := obs.ReadAllocs()
+		start := time.Now()
+		r, err := harness.Run(harness.Config{
+			App: builder, AppName: app,
+			Algorithm: algorithm, DCR: dcr,
+			Nodes: nodes, MeasureIters: iters,
+			Spans: spans,
+		})
+		wall := time.Since(start).Seconds()
+		allocs, bytes := obs.ReadAllocs().Since(before)
+		if err != nil {
+			_ = stopCellProfile(cpuFile, "") // the run error is primary
+			return cell, err
+		}
+
+		qs := obs.Quantiles(obs.SpanDurations(spans.Snapshot(), "analysis"), 0.50, 0.95, 0.99)
+		launchesPerSec := 0.0
+		if wall > 0 {
+			launchesPerSec = float64(r.Launches) / wall
+		}
+		perLaunch := func(v int64) float64 {
+			if r.Launches == 0 {
+				return 0
+			}
+			return float64(v) / float64(r.Launches)
+		}
+
+		if rep == 0 {
+			cell.Launches = r.Launches
+			cell.WallSeconds = wall
+			cell.LaunchesPerSec = launchesPerSec
+			cell.AllocsPerLaunch = perLaunch(allocs)
+			cell.BytesPerLaunch = perLaunch(bytes)
+			cell.AnalysisP50Ns, cell.AnalysisP95Ns, cell.AnalysisP99Ns = qs[0], qs[1], qs[2]
+		} else {
+			cell.WallSeconds = min(cell.WallSeconds, wall)
+			cell.LaunchesPerSec = max(cell.LaunchesPerSec, launchesPerSec)
+			cell.AllocsPerLaunch = min(cell.AllocsPerLaunch, perLaunch(allocs))
+			cell.BytesPerLaunch = min(cell.BytesPerLaunch, perLaunch(bytes))
+			cell.AnalysisP50Ns = min(cell.AnalysisP50Ns, qs[0])
+			cell.AnalysisP95Ns = min(cell.AnalysisP95Ns, qs[1])
+			cell.AnalysisP99Ns = min(cell.AnalysisP99Ns, qs[2])
+		}
+		cell.InitTime = r.InitTime
+		cell.IterTime = r.IterTime
+		cell.ThroughputPerNode = r.ThroughputPerNode
+	}
+
+	heapPath := ""
+	if profileDir != "" {
+		heapPath = filepath.Join(profileDir, fmt.Sprintf("%s_%s_n%d.heap.pprof", app, cell.System, nodes))
+	}
+	if err := stopCellProfile(cpuFile, heapPath); err != nil {
+		return cell, err
+	}
+	return cell, nil
+}
+
+// stopCellProfile finishes the cell's CPU profile (if one is running)
+// and, when heapPath is non-empty, captures a post-GC heap profile.
+func stopCellProfile(cpuFile *os.File, heapPath string) error {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			return fmt.Errorf("bench: cpu profile: %w", err)
+		}
+	}
+	if heapPath == "" {
+		return nil
+	}
+	f, err := os.Create(heapPath)
+	if err != nil {
+		return fmt.Errorf("bench: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // profile live heap, not collectable garbage
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("bench: heap profile: %w", err)
+	}
+	return nil
+}

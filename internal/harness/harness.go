@@ -77,6 +77,9 @@ type Result struct {
 	// the execution (GPU) and utility (analysis) processors over the run.
 	ExecUtilization float64
 	UtilUtilization float64
+	// Reps is how many repetitions this result aggregates (min-of-reps,
+	// see RunReps); 1 for a single Run.
+	Reps int
 	// Metrics is the cell's full registry snapshot: analyzer operation
 	// counts, cluster message tallies, per-launch cost histograms, and
 	// (when tracing) trace outcomes, all under hierarchical names.
@@ -200,6 +203,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	span := total * float64(cfg.Nodes)
 	return &Result{
+		Reps:              1,
 		System:            TracedSystemName(cfg.Algorithm, cfg.DCR, cfg.Tracing),
 		App:               cfg.AppName,
 		Nodes:             cfg.Nodes,
@@ -217,19 +221,57 @@ func Run(cfg Config) (*Result, error) {
 	}, nil
 }
 
+// RunReps executes one experiment cell reps times and aggregates
+// min-of-reps: the returned result carries the minimum init and
+// per-iteration times observed across repetitions (and therefore the
+// maximum throughput), the matching rep's metrics snapshot, and
+// Reps=reps. The simulation itself is deterministic in virtual time, so
+// repetitions mostly agree; the aggregation matters for the wall-clock
+// measurements benchmark records layer on top, and it is the
+// repetition discipline the paper's artifact uses (best of five).
+func RunReps(cfg Config, reps int) (*Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best *Result
+	for i := 0; i < reps; i++ {
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.IterTime < best.IterTime {
+			if best != nil && r.InitTime > best.InitTime {
+				r.InitTime = best.InitTime
+			}
+			best = r
+		} else if r.InitTime < best.InitTime {
+			best.InitTime = r.InitTime
+		}
+	}
+	best.Reps = reps
+	return best, nil
+}
+
 // WriteMetricsJSON writes one registry snapshot per experiment cell as an
 // indented JSON array, in result order. Cells and keys are emitted
-// deterministically, so identical runs are byte-identical.
+// deterministically, so identical runs are byte-identical. Each cell
+// records how many repetitions it aggregates (see RunReps), so a
+// min-of-reps artifact is distinguishable from a single run.
 func WriteMetricsJSON(w io.Writer, results []*Result) error {
 	type cell struct {
 		System  string       `json:"system"`
 		App     string       `json:"app"`
 		Nodes   int          `json:"nodes"`
+		Reps    int          `json:"reps"`
 		Metrics obs.Snapshot `json:"metrics"`
 	}
 	cells := make([]cell, 0, len(results))
 	for _, r := range results {
-		cells = append(cells, cell{System: r.System, App: r.App, Nodes: r.Nodes, Metrics: r.Metrics})
+		reps := r.Reps
+		if reps == 0 {
+			reps = 1
+		}
+		cells = append(cells, cell{System: r.System, App: r.App, Nodes: r.Nodes, Reps: reps, Metrics: r.Metrics})
 	}
 	b, err := json.MarshalIndent(cells, "", "  ")
 	if err != nil {
@@ -292,6 +334,12 @@ func Sweep(app apps.Builder, appName string, maxNodes, iters int) ([]*Result, er
 // parallel across the host's CPUs; results are returned in deterministic
 // (configuration-major) order.
 func SweepTraced(app apps.Builder, appName string, maxNodes, iters int, tracing bool) ([]*Result, error) {
+	return SweepReps(app, appName, maxNodes, iters, 1, tracing)
+}
+
+// SweepReps is SweepTraced with each cell repeated reps times and
+// aggregated min-of-reps (see RunReps) instead of measured once.
+func SweepReps(app apps.Builder, appName string, maxNodes, iters, reps int, tracing bool) ([]*Result, error) {
 	var cells []Config
 	for _, cfg := range PaperConfigs() {
 		for _, n := range NodeSweep(maxNodes) {
@@ -319,7 +367,7 @@ func SweepTraced(app apps.Builder, appName string, maxNodes, iters int, tracing 
 				if i >= len(cells) {
 					return
 				}
-				out[i], errs[i] = Run(cells[i])
+				out[i], errs[i] = RunReps(cells[i], reps)
 			}
 		}()
 	}

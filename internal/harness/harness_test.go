@@ -275,3 +275,85 @@ func TestUtilizationMetrics(t *testing.T) {
 		t.Errorf("expected exec-bound run: exec=%v util=%v", r.ExecUtilization, r.UtilUtilization)
 	}
 }
+
+// TestRunRepsAggregates checks min-of-reps aggregation: the result
+// carries Reps, its times are no worse than a single run's (the
+// simulation is deterministic, so they are equal), and the metrics JSON
+// records the repetition count instead of overwriting cells.
+func TestRunRepsAggregates(t *testing.T) {
+	cfg := harness.Config{
+		App: stencil.New, AppName: "stencil", Algorithm: "raycast", DCR: true,
+		Nodes: 2, MeasureIters: 2,
+	}
+	single, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Reps != 1 {
+		t.Errorf("single run Reps = %d, want 1", single.Reps)
+	}
+	agg, err := harness.RunReps(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reps != 3 {
+		t.Errorf("aggregated Reps = %d, want 3", agg.Reps)
+	}
+	if agg.InitTime > single.InitTime || agg.IterTime > single.IterTime {
+		t.Errorf("min-of-reps times worse than one run: init %v > %v or iter %v > %v",
+			agg.InitTime, single.InitTime, agg.IterTime, single.IterTime)
+	}
+	if agg.InitTime != single.InitTime || agg.IterTime != single.IterTime {
+		t.Errorf("deterministic sim: reps should agree, got init %v vs %v, iter %v vs %v",
+			agg.InitTime, single.InitTime, agg.IterTime, single.IterTime)
+	}
+
+	var buf strings.Builder
+	if err := harness.WriteMetricsJSON(&buf, []*harness.Result{agg}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"reps": 3`) {
+		t.Errorf("metrics JSON missing reps field:\n%s", out)
+	}
+	// One aggregated cell, not one cell per rep.
+	if got := strings.Count(out, `"system"`); got != 1 {
+		t.Errorf("metrics JSON has %d cells, want 1 aggregated cell:\n%s", got, out)
+	}
+
+	// A zero-valued Reps (a Result built by hand) is reported as 1.
+	buf.Reset()
+	legacy := *single
+	legacy.Reps = 0
+	if err := harness.WriteMetricsJSON(&buf, []*harness.Result{&legacy}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"reps": 1`) {
+		t.Errorf("legacy result did not default to reps 1:\n%s", buf.String())
+	}
+}
+
+// TestSweepReps checks the reps-aware sweep returns aggregated cells in
+// the same deterministic order as the plain sweep.
+func TestSweepReps(t *testing.T) {
+	plain, err := harness.SweepTraced(stencil.New, "stencil", 2, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := harness.SweepReps(stencil.New, "stencil", 2, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(reps) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(plain), len(reps))
+	}
+	for i := range plain {
+		if plain[i].System != reps[i].System || plain[i].Nodes != reps[i].Nodes {
+			t.Errorf("cell %d order differs: %s/%d vs %s/%d",
+				i, plain[i].System, plain[i].Nodes, reps[i].System, reps[i].Nodes)
+		}
+		if reps[i].Reps != 2 {
+			t.Errorf("cell %d Reps = %d, want 2", i, reps[i].Reps)
+		}
+	}
+}

@@ -79,12 +79,88 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Errorf("p100 = %d, want 10000", got)
 	}
 
-	// A boundless histogram estimates with the mean.
+	// A boundless histogram has no edges to interpolate between, so
+	// every quantile is 0 no matter what it observed.
 	m := r.NewHistogram("boundless")
 	m.Observe(10)
 	m.Observe(30)
-	if got := m.Quantile(0.5); got != 20 {
-		t.Errorf("boundless p50 = %d, want mean 20", got)
+	if got := m.Quantile(0.5); got != 0 {
+		t.Errorf("boundless p50 = %d, want 0", got)
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the degenerate shapes: empty and
+// single-bucket histograms must report 0 for every quantile — never NaN,
+// never a panic — and out-of-range q clamps rather than misbehaving.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	empty := r.NewHistogram("empty", 10, 100)
+	emptyBoundless := r.NewHistogram("empty_boundless")
+	single := r.NewHistogram("single_bucket") // only the overflow bucket
+	single.Observe(7)
+	overflowOnly := r.NewHistogram("overflow_only", 10)
+	overflowOnly.Observe(50) // everything past the last bound
+	one := r.NewHistogram("one_obs", 10)
+	one.Observe(4)
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want int64
+	}{
+		{"empty p50", empty, 0.50, 0},
+		{"empty p95", empty, 0.95, 0},
+		{"empty p99", empty, 0.99, 0},
+		{"empty boundless p50", emptyBoundless, 0.50, 0},
+		{"single-bucket p50", single, 0.50, 0},
+		{"single-bucket p95", single, 0.95, 0},
+		{"single-bucket p99", single, 0.99, 0},
+		{"all-overflow p50 clamps to last bound", overflowOnly, 0.50, 10},
+		// One observation in (0,10]: interpolation puts every rank at the
+		// bucket's top edge; out-of-range q clamps to a valid rank first.
+		{"q=0 clamps to first rank", one, 0, 10},
+		{"q>1 clamps to last rank", one, 2, 10},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+	// The snapshot path exercises the same quantiles; it must not panic
+	// on degenerate histograms and must report their zeros.
+	snap := r.Snapshot()
+	for _, k := range []string{"empty/p50", "single_bucket/p99"} {
+		if snap[k] != 0 {
+			t.Errorf("snapshot[%q] = %d, want 0", k, snap[k])
+		}
+	}
+}
+
+func TestHistogramView(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_view", 100, 1000)
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	h.Observe(5000)
+	v := h.View()
+	if want := []int64{100, 1000}; len(v.Bounds) != 2 || v.Bounds[0] != want[0] || v.Bounds[1] != want[1] {
+		t.Errorf("View bounds = %v, want %v", v.Bounds, want)
+	}
+	if want := []int64{10, 0, 1}; len(v.Counts) != 3 || v.Counts[0] != 10 || v.Counts[1] != 0 || v.Counts[2] != 1 {
+		t.Errorf("View counts = %v, want %v", v.Counts, want)
+	}
+	if v.Count != 11 || v.Sum != 5500 {
+		t.Errorf("View count/sum = %d/%d, want 11/5500", v.Count, v.Sum)
+	}
+	if v.P50 != h.Quantile(0.50) || v.P95 != h.Quantile(0.95) || v.P99 != h.Quantile(0.99) {
+		t.Errorf("View quantiles %d/%d/%d disagree with Quantile", v.P50, v.P95, v.P99)
+	}
+	// The view is a copy: mutating it must not touch the histogram.
+	v.Bounds[0] = 1
+	if h.Quantile(1.0) == 1 {
+		t.Error("mutating a view's bounds reached the histogram")
 	}
 }
 

@@ -27,7 +27,7 @@ func TestParseTraceparentRejects(t *testing.T) {
 	bad := []string{
 		"",
 		"garbage",
-		"00-abc-def-01",                            // too short
+		"00-abc-def-01", // too short
 		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // all-zero trace
 		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span
 		"00-" + strings.Repeat("A", 32) + "-" + strings.Repeat("a", 16) + "-01", // uppercase hex
