@@ -14,7 +14,12 @@
 //
 //	visbench [-app stencil|circuit|pennant|all] [-metric init|weak|all]
 //	         [-max-nodes 512] [-iters 3] [-format figure|tsv] [-reps 1]
-//	         [-stats] [-metrics-out cells.json] [-list]
+//	         [-stats] [-metrics-out cells.json] [-autotrace] [-list]
+//
+// -autotrace additionally measures every configuration with automatic
+// trace memoization enabled (online repeat detection over the launch
+// stream, no Begin/End brackets in the app). The extra rows and record
+// cells carry a "_auto" system-name suffix; the schema is unchanged.
 //
 // -json switches to benchmark-record collection: cells run serially
 // (wall-clock timing, ReadMemStats allocation deltas, and analysis-span
@@ -71,6 +76,7 @@ func main() {
 	reps := flag.Int("reps", 1, "repetition rows in tsv output")
 	stats := flag.Bool("stats", false, "print analyzer operation counts per cell")
 	tracing := flag.Bool("tracing", false, "enable dynamic tracing (the paper disables it; see §8)")
+	autotrace := flag.Bool("autotrace", false, "additionally measure every configuration with automatic trace memoization (\"<system>_auto\" rows/cells)")
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics snapshots as JSON to this file (\"-\" for stdout)")
 	jsonOut := flag.String("json", "", "collect a VISBENCH1 benchmark record into this file (\"-\" for stdout) instead of printing figures")
 	profileOut := flag.String("profile-out", "", "with -json: write per-cell pprof CPU+heap profiles into this directory")
@@ -100,7 +106,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut != "" {
-		os.Exit(runBenchRecord(*jsonOut, *profileOut, names, *maxNodes, *iters, *reps))
+		os.Exit(runBenchRecord(*jsonOut, *profileOut, names, *maxNodes, *iters, *reps, *autotrace))
 	}
 	if *profileOut != "" {
 		fmt.Fprintln(os.Stderr, "visbench: -profile-out requires -json (profiles are captured per benchmark-record cell)")
@@ -115,6 +121,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *autotrace {
+			autoResults, err := harness.SweepAuto(builder, name, *maxNodes, *iters, *reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+				os.Exit(1)
+			}
+			results = append(results, autoResults...)
 		}
 		allResults = append(allResults, results...)
 		switch *format {
@@ -176,10 +190,10 @@ func main() {
 // runBenchRecord collects a pinned VISBENCH1 benchmark record over the
 // named apps and writes it to out ("-" for stdout), optionally capturing
 // per-cell pprof profiles. Returns the process exit code.
-func runBenchRecord(out, profileDir string, names []string, maxNodes, iters, reps int) int {
+func runBenchRecord(out, profileDir string, names []string, maxNodes, iters, reps int, autotrace bool) int {
 	rec, err := bench.Collect(bench.Options{
 		Apps: names, MaxNodes: maxNodes, Iters: iters, Reps: reps,
-		Commit: gitCommit(), ProfileDir: profileDir,
+		Commit: gitCommit(), ProfileDir: profileDir, AutoTrace: autotrace,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "visbench: %v\n", err)

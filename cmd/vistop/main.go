@@ -1,7 +1,8 @@
 // Command vistop is a live terminal dashboard for a running visserve
 // instance. Each frame it polls /metrics, /v1/sessions, and /debug/spans
 // and renders three tables: per-endpoint HTTP traffic with latency
-// quantiles, per-session throughput and cache behavior, and the hottest
+// quantiles, per-session throughput, cache behavior, and trace hit rate
+// (the share of launches served by trace replay), and the hottest
 // analysis phases by span time (where analysis wall-clock actually
 // goes). A header row summarizes the latest committed BENCH_<n>.json
 // benchmark record (see -bench), so live launch rates read against the
@@ -173,6 +174,19 @@ func launches(m map[string]int64) int64 {
 	return n
 }
 
+// traceHitRate renders a session's trace hit rate: the share of launches
+// served by trace replay instead of fresh analysis. Replayed launches
+// never reach the underlying analyzer, so the session's total launch
+// volume is the analyzer count plus the replays. "-" when the session
+// has never replayed (tracing off, or no repeats found yet).
+func traceHitRate(m map[string]int64) string {
+	replayed := m["trace/replayed"]
+	if replayed == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", 100*float64(replayed)/float64(launches(m)+replayed))
+}
+
 // render draws one frame.
 func render(w io.Writer, target, benchLine string, prev, cur *sample, plain bool) {
 	if !plain {
@@ -242,7 +256,7 @@ func renderHTTP(w io.Writer, prev, cur *sample, dt time.Duration) {
 // and materialization cache behavior.
 func renderSessions(w io.Writer, prev, cur *sample, dt time.Duration) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	say(tw, "SESSION\tALGO\tQUEUED\tLAUNCHES\tLAUNCH/S\tCACHE%%\tSTATE\n")
+	say(tw, "SESSION\tALGO\tQUEUED\tLAUNCHES\tLAUNCH/S\tCACHE%%\tTRACE%%\tSTATE\n")
 	for _, info := range cur.infos {
 		m := cur.sessions[info.ID]
 		n := launches(m)
@@ -259,7 +273,7 @@ func renderSessions(w io.Writer, prev, cur *sample, dt time.Duration) {
 		if info.Failed != "" {
 			state = "FAILED"
 		}
-		say(tw, "%s\t%s\t%d\t%d\t%.1f\t%s\t%s\n", info.ID, info.Algorithm, info.Queued, n, lps, cache, state)
+		say(tw, "%s\t%s\t%d\t%d\t%.1f\t%s\t%s\t%s\n", info.ID, info.Algorithm, info.Queued, n, lps, cache, traceHitRate(m), state)
 	}
 	_ = tw.Flush()
 	say(w, "\n")

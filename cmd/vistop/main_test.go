@@ -39,6 +39,17 @@ func TestLaunches(t *testing.T) {
 	}
 }
 
+func TestTraceHitRate(t *testing.T) {
+	if got := traceHitRate(map[string]int64{"warnock/launches": 10}); got != "-" {
+		t.Errorf("hit rate without replays = %q, want -", got)
+	}
+	// 75 replayed of 100 total (25 analyzed + 75 replayed) = 75%.
+	m := map[string]int64{"warnock/launches": 25, "trace/replayed": 75}
+	if got := traceHitRate(m); got != "75" {
+		t.Errorf("hit rate = %q, want 75", got)
+	}
+}
+
 // TestDashboardAgainstLiveServer renders two frames against a real
 // server with one active session and checks every table is populated:
 // the endpoint rows, the session row with its launch count, and the
@@ -74,6 +85,7 @@ func TestDashboardAgainstLiveServer(t *testing.T) {
 	for _, want := range []string{
 		"ENDPOINT", "workloads", "snapshot", // HTTP table rows
 		"SESSION", sess.ID, "warnock", // session table row
+		"TRACE%",   // trace hit-rate column
 		"HOT SPOT", // analysis-phase attribution
 	} {
 		if !strings.Contains(out, want) {

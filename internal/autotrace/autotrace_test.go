@@ -1,0 +1,346 @@
+package autotrace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"visibility/internal/autotrace"
+	"visibility/internal/core"
+	"visibility/internal/fault"
+	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
+	"visibility/internal/paint"
+	"visibility/internal/privilege"
+	"visibility/internal/raycast"
+	"visibility/internal/region"
+	"visibility/internal/testutil"
+	"visibility/internal/warnock"
+)
+
+func factories() []core.Factory {
+	return []core.Factory{
+		{Name: "paint", New: func(tr *region.Tree) core.Analyzer { return paint.NewPainter(tr, core.Options{}) }},
+		{Name: "warnock", New: func(tr *region.Tree) core.Analyzer { return warnock.New(tr, core.Options{}) }},
+		{Name: "raycast", New: func(tr *region.Tree) core.Analyzer { return raycast.New(tr, core.Options{}) }},
+	}
+}
+
+// schedule produces iteration it's launches; the autotracer sees the
+// concatenated stream with no brackets at all.
+type schedule func(s *core.Stream, p, g *region.Partition, it int) []*core.Task
+
+// loopIter is the Figure 1 loop body: three t1 then three t2 launches.
+func loopIter(s *core.Stream, p, g *region.Partition, _ int) []*core.Task {
+	var out []*core.Task
+	for i := 0; i < 3; i++ {
+		out = append(out, testutil.LaunchT1(s, p, g, i))
+	}
+	for i := 0; i < 3; i++ {
+		out = append(out, testutil.LaunchT2(s, p, g, i))
+	}
+	return out
+}
+
+// runSchedule drives iters iterations of sched through an autotraced
+// engine with NO explicit trace brackets, checks every task input
+// against the sequential interpreter, and returns the autotracer.
+func runSchedule(t *testing.T, fac core.Factory, iters int, opts core.Options, sched schedule) *autotrace.Auto {
+	t.Helper()
+	tree, p, g := testutil.GraphTree()
+	init := testutil.FullInit(tree)
+	kern := core.HashKernel{}
+
+	seq := core.NewSeq(tree, init)
+	seqStream := core.NewStream(tree)
+	for it := 0; it < iters; it++ {
+		for _, task := range sched(seqStream, p, g, it) {
+			seq.Run(task, kern)
+		}
+	}
+
+	auto := autotrace.New(fac.New(tree), opts)
+	eng := core.NewEngine(tree, auto, init)
+	eng.RecordInputs = true
+	stream := core.NewStream(tree)
+	for it := 0; it < iters; it++ {
+		for _, task := range sched(stream, p, g, it) {
+			eng.Launch(task, kern)
+		}
+	}
+
+	for id, want := range seq.Inputs {
+		have := eng.Inputs[id]
+		for ri := range want {
+			if want[ri] == nil {
+				continue
+			}
+			if !want[ri].Equal(have[ri]) {
+				t.Fatalf("%s: task %d req %d diverged under autotracing:\n%s",
+					fac.Name, id, ri, want[ri].Diff(have[ri]))
+			}
+		}
+	}
+	return auto
+}
+
+// TestAutoMatchesSequential checks the full pipeline on the unbracketed
+// Figure 1 loop: two iterations to detect, one to record, the rest
+// replay — and every value matches the sequential interpreter.
+func TestAutoMatchesSequential(t *testing.T) {
+	for _, fac := range factories() {
+		fac := fac
+		t.Run(fac.Name, func(t *testing.T) {
+			auto := runSchedule(t, fac, 10, core.Options{}, loopIter)
+			st := auto.AutoStats()
+			if st.Candidates != 1 {
+				t.Errorf("candidates = %d, want 1", st.Candidates)
+			}
+			if st.Aborts != 0 {
+				t.Errorf("aborts = %d, want 0", st.Aborts)
+			}
+			// Iterations 0-1 detect, 2 records, 3-9 replay; each bracketed
+			// iteration is one instance.
+			if st.Instances != 8 {
+				t.Errorf("instances = %d, want 8", st.Instances)
+			}
+			if st.Trace.Recorded != 6 {
+				t.Errorf("recorded %d launches, want 6 (one loop iteration)", st.Trace.Recorded)
+			}
+			if st.Trace.Replayed != 7*6 {
+				t.Errorf("replayed %d launches, want 42 (seven replayed iterations)", st.Trace.Replayed)
+			}
+			if st.Trace.Invalidations != 0 {
+				t.Errorf("invalidations = %d, want 0", st.Trace.Invalidations)
+			}
+		})
+	}
+}
+
+// TestAutoReplaySkipsUnderlyingAnalysis proves replayed instances never
+// reach the wrapped analyzer.
+func TestAutoReplaySkipsUnderlyingAnalysis(t *testing.T) {
+	tree, p, g := testutil.GraphTree()
+	an := warnock.New(tree, core.Options{})
+	auto := autotrace.New(an, core.Options{})
+	stream := core.NewStream(tree)
+	emit := func() {
+		for i := 0; i < 3; i++ {
+			auto.Analyze(testutil.LaunchT1(stream, p, g, i))
+		}
+		for i := 0; i < 3; i++ {
+			auto.Analyze(testutil.LaunchT2(stream, p, g, i))
+		}
+	}
+	emit() // watch
+	emit() // watch; candidate commits on the last launch
+	emit() // record
+	launchesAfterRecord := an.Stats().Launches
+	emit() // replay
+	emit() // replay
+	if got := an.Stats().Launches; got != launchesAfterRecord {
+		t.Errorf("wrapped analyzer observed %d launches during replay, want 0", got-launchesAfterRecord)
+	}
+	if st := auto.AutoStats(); st.Trace.Replayed != 12 {
+		t.Errorf("replayed %d launches, want 12", st.Trace.Replayed)
+	}
+}
+
+// TestAutoSingleLaunchLoop checks the degenerate but common period-1
+// stream: the same launch over and over.
+func TestAutoSingleLaunchLoop(t *testing.T) {
+	spin := func(s *core.Stream, _, _ *region.Partition, _ int) []*core.Task {
+		return []*core.Task{s.Launch("spin",
+			core.Req{Region: s.Tree.Root, Field: 0, Priv: privilege.Writes()})}
+	}
+	auto := runSchedule(t, factories()[1], 8, core.Options{}, spin)
+	st := auto.AutoStats()
+	if st.Candidates != 1 {
+		t.Errorf("candidates = %d, want 1", st.Candidates)
+	}
+	if st.Trace.Recorded != 1 || st.Trace.Replayed != 5 {
+		t.Errorf("recorded/replayed = %d/%d, want 1/5", st.Trace.Recorded, st.Trace.Replayed)
+	}
+}
+
+// TestAutoDivergenceRecovers scrambles one iteration mid-replay: the
+// first launch still matches (so the bracket opens), the second does
+// not, forcing an invalidation — then the loop resumes and must be
+// re-detected, re-recorded, and replayed again, with all values exact.
+func TestAutoDivergenceRecovers(t *testing.T) {
+	scrambled := func(s *core.Stream, p, g *region.Partition, it int) []*core.Task {
+		if it != 5 {
+			return loopIter(s, p, g, it)
+		}
+		var out []*core.Task
+		out = append(out, testutil.LaunchT1(s, p, g, 0))
+		for i := 0; i < 3; i++ {
+			out = append(out, testutil.LaunchT2(s, p, g, i))
+		}
+		out = append(out, testutil.LaunchT1(s, p, g, 1))
+		out = append(out, testutil.LaunchT1(s, p, g, 2))
+		return out
+	}
+	auto := runSchedule(t, factories()[2], 12, core.Options{}, scrambled)
+	st := auto.AutoStats()
+	if st.Aborts != 1 {
+		t.Errorf("aborts = %d, want 1", st.Aborts)
+	}
+	if st.Trace.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Trace.Invalidations)
+	}
+	if st.Candidates != 2 {
+		t.Errorf("candidates = %d, want 2 (re-detected after the scramble)", st.Candidates)
+	}
+	// Iterations 3-4 replayed before the scramble; 9-11 after recovery.
+	if st.Trace.Replayed <= 2*6 {
+		t.Errorf("replayed %d launches, want replay to resume after recovery", st.Trace.Replayed)
+	}
+}
+
+// TestAutoCleanLoopExit ends the loop between instances: the armed
+// candidate retires without an invalidation and the tail launches are
+// analyzed directly.
+func TestAutoCleanLoopExit(t *testing.T) {
+	tail := func(s *core.Stream, p, g *region.Partition, it int) []*core.Task {
+		if it < 6 {
+			return loopIter(s, p, g, it)
+		}
+		return []*core.Task{s.Launch("after",
+			core.Req{Region: s.Tree.Root, Field: 0, Priv: privilege.Reads()})}
+	}
+	auto := runSchedule(t, factories()[0], 7, core.Options{}, tail)
+	st := auto.AutoStats()
+	if st.Aborts != 0 {
+		t.Errorf("aborts = %d, want 0: a loop exit between instances is clean", st.Aborts)
+	}
+	if st.Trace.Invalidations != 0 {
+		t.Errorf("invalidations = %d, want 0", st.Trace.Invalidations)
+	}
+	if st.Trace.Replayed != 3*6 {
+		t.Errorf("replayed %d launches, want 18", st.Trace.Replayed)
+	}
+}
+
+// TestAutoForcedInvalidation arms the trace.invalidate fault site so a
+// replaying instance aborts mid-flight, and checks full recovery: exact
+// values, a journaled fault_inject + trace_invalidate pair, and replay
+// resuming after re-detection.
+func TestAutoForcedInvalidation(t *testing.T) {
+	rec := recorder.NewClock(4096, eventClock())
+	inj := fault.New(fault.Plan{Seed: 1, Rules: map[fault.Site]fault.Rule{
+		fault.TraceInvalidate: {Every: 4, Max: 1},
+	}})
+	inj.SetRecorder(rec)
+	opts := core.Options{Recorder: rec, Faults: inj}
+	auto := runSchedule(t, factories()[1], 12, opts, loopIter)
+	st := auto.AutoStats()
+	if got := inj.Fires(fault.TraceInvalidate); got != 1 {
+		t.Fatalf("trace.invalidate fired %d times, want 1", got)
+	}
+	if st.Aborts != 1 || st.Trace.Invalidations != 1 {
+		t.Errorf("aborts/invalidations = %d/%d, want 1/1", st.Aborts, st.Trace.Invalidations)
+	}
+	if st.Candidates != 2 {
+		t.Errorf("candidates = %d, want 2 (loop re-detected after the forced abort)", st.Candidates)
+	}
+	if st.Trace.Replayed <= 3 {
+		t.Errorf("replayed %d launches, want replay to resume after the forced abort", st.Trace.Replayed)
+	}
+	counts := map[recorder.Kind]int{}
+	sawFault := false
+	for _, e := range rec.Snapshot() {
+		counts[e.Kind]++
+		if e.Kind == recorder.KindFaultInject && fault.SiteAt(int(e.A)) == fault.TraceInvalidate {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Error("no fault_inject event journaled for trace.invalidate")
+	}
+	if counts[recorder.KindTraceCommit] != 2 {
+		t.Errorf("journaled %d trace_commit events, want 2", counts[recorder.KindTraceCommit])
+	}
+	if counts[recorder.KindTraceInvalidate] != 1 {
+		t.Errorf("journaled %d trace_invalidate events, want 1", counts[recorder.KindTraceInvalidate])
+	}
+	if counts[recorder.KindTraceReplay] == 0 {
+		t.Error("no trace_replay events journaled")
+	}
+}
+
+// TestAutoJournalDeterministic runs the same autotraced workload twice
+// on event-count clocks and requires byte-identical flight-recorder
+// dumps.
+func TestAutoJournalDeterministic(t *testing.T) {
+	run := func() []byte {
+		rec := recorder.NewClock(4096, eventClock())
+		auto := runSchedule(t, factories()[2], 9, core.Options{Recorder: rec}, loopIter)
+		_ = auto
+		var buf bytes.Buffer
+		if err := rec.Dump(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two identical autotraced runs produced different dumps (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// eventClock returns a deterministic clock advancing one tick per event.
+func eventClock() func() int64 {
+	var ticks int64
+	return func() int64 { ticks++; return ticks }
+}
+
+// TestAutoMetricsPublished checks the autotrace and trace counters land
+// on a shared obs registry under the expected keys.
+func TestAutoMetricsPublished(t *testing.T) {
+	tree, p, g := testutil.GraphTree()
+	reg := obs.NewRegistry()
+	auto := autotrace.New(warnock.New(tree, core.Options{}), core.Options{Metrics: reg})
+	stream := core.NewStream(tree)
+	for it := 0; it < 6; it++ {
+		for i := 0; i < 3; i++ {
+			auto.Analyze(testutil.LaunchT1(stream, p, g, i))
+		}
+		for i := 0; i < 3; i++ {
+			auto.Analyze(testutil.LaunchT2(stream, p, g, i))
+		}
+	}
+	snap := reg.Snapshot()
+	for _, key := range []string{"autotrace/candidates", "autotrace/instances", "trace/recorded", "trace/replayed"} {
+		if snap[key] == 0 {
+			t.Errorf("metric %q = 0 after an autotraced loop, want > 0", key)
+		}
+	}
+	if snap["autotrace/aborts"] != 0 || snap["trace/invalidations"] != 0 {
+		t.Errorf("unexpected aborts/invalidations in %v", snap)
+	}
+}
+
+func TestAutoNameAndDescribe(t *testing.T) {
+	tree, _, _ := testutil.GraphTree()
+	auto := autotrace.New(warnock.New(tree, core.Options{}), core.Options{})
+	if auto.Name() != "warnock+autotrace" {
+		t.Errorf("Name = %q", auto.Name())
+	}
+	if auto.Describe() == "" {
+		t.Error("Describe empty")
+	}
+	if auto.Stats() == nil {
+		t.Error("Stats nil")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	def := autotrace.Config{}.Normalize()
+	if def.Window != 4096 || def.MinPeriod != 1 || def.MaxPeriod != 512 || def.MinReps != 2 {
+		t.Errorf("defaults = %+v", def)
+	}
+	clamped := autotrace.Config{Window: 100, MinReps: 5}.Normalize()
+	if clamped.MaxPeriod != 10 {
+		t.Errorf("MaxPeriod = %d, want 10 (window/2 divided by reps)", clamped.MaxPeriod)
+	}
+}

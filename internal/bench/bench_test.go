@@ -169,6 +169,33 @@ func TestCollectSmall(t *testing.T) {
 	}
 }
 
+// TestCollectAutoTrace checks the -autotrace collection shape: every
+// configuration gains a "_auto" sibling cell, measured and canonically
+// ordered, with no change to the record schema.
+func TestCollectAutoTrace(t *testing.T) {
+	rec, err := Collect(Options{Apps: []string{"stencil"}, MaxNodes: 2, Iters: 1, AutoIters: 5, AutoTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 paper configs x 2 node counts, doubled by the _auto siblings.
+	if len(rec.Cells) != 20 {
+		t.Fatalf("got %d cells, want 20", len(rec.Cells))
+	}
+	autos := 0
+	for _, c := range rec.Cells {
+		if !strings.HasSuffix(c.System, "_auto") {
+			continue
+		}
+		autos++
+		if c.Launches == 0 || c.WallSeconds <= 0 || c.LaunchesPerSec <= 0 {
+			t.Errorf("cell %s: unmeasured throughput: %+v", c.Key(), c)
+		}
+	}
+	if autos != 10 {
+		t.Errorf("got %d _auto cells, want 10", autos)
+	}
+}
+
 func TestCollectUnknownApp(t *testing.T) {
 	if _, err := Collect(Options{Apps: []string{"zmachine"}, MaxNodes: 1}); err == nil {
 		t.Error("collecting an unregistered app did not fail")

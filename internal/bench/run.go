@@ -43,6 +43,16 @@ type Options struct {
 	// default sweeps). If a run records more analysis spans than this,
 	// the quantiles cover the most recent SpanCapacity spans.
 	SpanCapacity int
+	// AutoTrace additionally measures every configuration with automatic
+	// trace memoization enabled, as "<system>_auto" cells. The record
+	// schema is unchanged — the system-name suffix is the only visible
+	// difference.
+	AutoTrace bool
+	// AutoIters overrides Iters for the autotraced cells (0 = 30):
+	// replay throughput is a steady-state property, so autotraced cells
+	// time a longer window to keep the single recording iteration from
+	// dominating the measurement.
+	AutoIters int
 }
 
 // Collect measures every cell of the configured sweep and returns the
@@ -91,11 +101,22 @@ func Collect(opts Options) (*Record, error) {
 		}
 		for _, cfg := range harness.PaperConfigs() {
 			for _, nodes := range harness.NodeSweep(opts.MaxNodes) {
-				cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, nodes, opts.Iters, reps, spanCap, opts.ProfileDir)
+				cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, false, nodes, opts.Iters, reps, spanCap, opts.ProfileDir)
 				if err != nil {
 					return nil, err
 				}
 				rec.Cells = append(rec.Cells, cell)
+				if opts.AutoTrace {
+					autoIters := opts.AutoIters
+					if autoIters <= 0 {
+						autoIters = 30
+					}
+					cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, true, nodes, autoIters, reps, spanCap, opts.ProfileDir)
+					if err != nil {
+						return nil, err
+					}
+					rec.Cells = append(rec.Cells, cell)
+				}
 			}
 		}
 	}
@@ -108,8 +129,12 @@ func Collect(opts Options) (*Record, error) {
 // allocations per launch, lowest latency quantiles. The virtual-time
 // metrics are deterministic and identical across reps, so they are taken
 // from the last run.
-func measureCell(builder apps.Builder, app, algorithm string, dcr bool, nodes, iters, reps, spanCap int, profileDir string) (Cell, error) {
-	cell := Cell{App: app, System: harness.SystemName(algorithm, dcr), Nodes: nodes}
+func measureCell(builder apps.Builder, app, algorithm string, dcr, auto bool, nodes, iters, reps, spanCap int, profileDir string) (Cell, error) {
+	system := harness.SystemName(algorithm, dcr)
+	if auto {
+		system = harness.AutoSystemName(algorithm, dcr)
+	}
+	cell := Cell{App: app, System: system, Nodes: nodes}
 
 	var cpuFile *os.File
 	if profileDir != "" {
@@ -134,7 +159,7 @@ func measureCell(builder apps.Builder, app, algorithm string, dcr bool, nodes, i
 		start := time.Now()
 		r, err := harness.Run(harness.Config{
 			App: builder, AppName: app,
-			Algorithm: algorithm, DCR: dcr,
+			Algorithm: algorithm, DCR: dcr, AutoTrace: auto,
 			Nodes: nodes, MeasureIters: iters,
 			Spans: spans,
 		})

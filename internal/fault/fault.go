@@ -76,6 +76,12 @@ const (
 	// RestoreCorrupt flips one bit of a checkpoint's bytes before they
 	// are decoded. Arg: input length in bytes.
 	RestoreCorrupt Site = "checkpoint.restore.flip"
+	// TraceInvalidate forces an automatic trace to invalidate mid-replay:
+	// the autotracer aborts the bracketed instance as if its structure had
+	// diverged, the memoized results are dropped, and every replayed
+	// launch is re-analyzed through the wrapped analyzer. Recovery must be
+	// byte-identical to a run that never traced. Arg: task ID.
+	TraceInvalidate Site = "trace.invalidate"
 )
 
 // catalog fixes the Site -> index mapping journaled in recorder events.
@@ -84,6 +90,7 @@ var catalog = []Site{
 	EqSplit, EqMigrate, CacheBypass,
 	WorkerPanic, AdmitBurst,
 	CkptCorrupt, RestoreCorrupt,
+	TraceInvalidate,
 }
 
 var catalogIndex = func() map[Site]int {

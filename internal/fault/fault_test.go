@@ -16,6 +16,7 @@ func TestCatalogStable(t *testing.T) {
 		EqSplit, EqMigrate, CacheBypass,
 		WorkerPanic, AdmitBurst,
 		CkptCorrupt, RestoreCorrupt,
+		TraceInvalidate,
 	}
 	got := Sites()
 	if len(got) != len(want) {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"visibility/internal/algo"
+	"visibility/internal/autotrace"
 	"visibility/internal/cluster"
 	"visibility/internal/core"
 	"visibility/internal/data"
@@ -53,6 +54,11 @@ type ChaosReport struct {
 	// Dump is the recorder window in VISFREC1 binary form, journaled on a
 	// deterministic event-count clock.
 	Dump []byte
+	// AutoTrace summarizes the autotrace leg: a periodic stream driven
+	// unbracketed through an autotraced analyzer under the same fault
+	// plan, so trace.invalidate fires mid-replay and recovery is
+	// value-checked against the sequential ground truth.
+	AutoTrace autotrace.Stats
 	// Makespan is the distributed leg's virtual completion time (0 when
 	// Nodes is 0).
 	Makespan float64
@@ -63,13 +69,14 @@ type ChaosReport struct {
 // seeded so distinct seeds explore distinct fault schedules.
 func DefaultChaosPlan(seed int64) string {
 	p := fault.Plan{Seed: seed, Rules: map[fault.Site]fault.Rule{
-		fault.EqSplit:     {Prob: 0.10},
-		fault.EqMigrate:   {Prob: 0.05},
-		fault.CacheBypass: {Prob: 0.25},
-		fault.MsgDrop:     {Prob: 0.02},
-		fault.MsgDelay:    {Prob: 0.05},
-		fault.MsgDup:      {Prob: 0.05},
-		fault.MsgReorder:  {Prob: 0.03},
+		fault.EqSplit:         {Prob: 0.10},
+		fault.EqMigrate:       {Prob: 0.05},
+		fault.CacheBypass:     {Prob: 0.25},
+		fault.TraceInvalidate: {Prob: 0.10},
+		fault.MsgDrop:         {Prob: 0.02},
+		fault.MsgDelay:        {Prob: 0.05},
+		fault.MsgDup:          {Prob: 0.05},
+		fault.MsgReorder:      {Prob: 0.03},
 	}}
 	return p.String()
 }
@@ -121,6 +128,25 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		finish()
 		return report, fmt.Errorf("chaos seed %d plan %q: %w", cfg.Seed, cfg.Plan, err)
 	}
+
+	// Autotrace leg: the random stream above never repeats, so traces
+	// cannot form there. A separate periodic stream — one random body
+	// repeated verbatim — is driven unbracketed through an autotraced
+	// analyzer under the same injector, so an armed trace.invalidate site
+	// fires mid-replay and every recovered value is still checked against
+	// the sequential ground truth.
+	loop := chaosLoopStream(rng, tree, 10)
+	var auto *autotrace.Auto
+	newRay, _ := algo.Lookup("raycast")
+	autoFac := core.Factory{Name: "raycast+autotrace", New: func(tr *region.Tree) core.Analyzer {
+		auto = autotrace.New(newRay(tr, opts), opts)
+		return auto
+	}}
+	if err := core.Verify(loop, chaosInit(tree), core.HashKernel{}, autoFac); err != nil {
+		finish()
+		return report, fmt.Errorf("chaos seed %d plan %q (autotrace leg): %w", cfg.Seed, cfg.Plan, err)
+	}
+	report.AutoTrace = auto.AutoStats()
 
 	if cfg.Nodes > 0 {
 		mcfg := cluster.DefaultConfig(cfg.Nodes)
@@ -257,6 +283,47 @@ func chaosStream(rng *rand.Rand, tree *region.Tree, n int) *core.Stream {
 		}
 		if len(reqs) > 0 {
 			s.Launch("rand", reqs...)
+		}
+	}
+	return s
+}
+
+// chaosLoopStream builds the periodic stream the autotrace leg drives: a
+// random body of launches repeated verbatim for iters iterations. The
+// body opens with a whole-root write of every field so every later read
+// sources from a producer at most one period back — the shape family the
+// tracer's replayable() check accepts, which is what lets the armed
+// trace.invalidate site actually reach a mid-replay state.
+func chaosLoopStream(rng *rand.Rand, tree *region.Tree, iters int) *core.Stream {
+	var regions []*region.Region
+	for i := 0; i < tree.NumRegions(); i++ {
+		r := tree.Region(i)
+		if !r.Space.IsEmpty() {
+			regions = append(regions, r)
+		}
+	}
+	type launch struct {
+		name string
+		reqs []core.Req
+	}
+	head := launch{name: "loop_head"}
+	for f := 0; f < tree.Fields.Len(); f++ {
+		head.reqs = append(head.reqs, core.Req{Region: tree.Root, Field: field.ID(f), Priv: privilege.Writes()})
+	}
+	body := []launch{head}
+	for i, n := 0, 2+rng.Intn(3); i < n; i++ {
+		r := regions[rng.Intn(len(regions))]
+		f := field.ID(rng.Intn(tree.Fields.Len()))
+		priv := privilege.Writes()
+		if rng.Intn(2) == 0 {
+			priv = privilege.Reads()
+		}
+		body = append(body, launch{name: fmt.Sprintf("loop_%d", i), reqs: []core.Req{{Region: r, Field: f, Priv: priv}}})
+	}
+	s := core.NewStream(tree)
+	for it := 0; it < iters; it++ {
+		for _, l := range body {
+			s.Launch(l.name, l.reqs...)
 		}
 	}
 	return s

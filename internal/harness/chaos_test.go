@@ -104,6 +104,50 @@ func TestChaosExplicitPlan(t *testing.T) {
 	}
 }
 
+// TestChaosAutotraceInvalidationRecovery pins the autotrace leg: a plan
+// arming only trace.invalidate forces replays to abort mid-instance, and
+// the run's verification (inside RunChaos) proves the recovered values
+// still match the sequential ground truth. The journal must carry the
+// injection and the resulting invalidation.
+func TestChaosAutotraceInvalidationRecovery(t *testing.T) {
+	r, err := RunChaos(ChaosConfig{Seed: 5, Plan: "seed=5;trace.invalidate=every=3,max=2"})
+	if err != nil {
+		t.Fatalf("autotraced run diverged from ground truth: %v", err)
+	}
+	fires := r.Fires[fault.TraceInvalidate]
+	if fires == 0 {
+		t.Fatal("trace.invalidate never fired — replay was never reached")
+	}
+	at := r.AutoTrace
+	if at.Aborts != fires || at.Trace.Invalidations != fires {
+		t.Errorf("fires=%d but aborts=%d invalidations=%d, want all equal", fires, at.Aborts, at.Trace.Invalidations)
+	}
+	if at.Trace.Replayed == 0 {
+		t.Error("no launches replayed after recovery")
+	}
+	if at.Candidates < 2 {
+		t.Errorf("candidates = %d, want re-detection after the abort", at.Candidates)
+	}
+	events, _, err := recorder.ReadDump(bytes.NewReader(r.Dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected, invalidated int64
+	for _, e := range events {
+		switch e.Kind {
+		case recorder.KindFaultInject:
+			if fault.SiteAt(int(e.A)) == fault.TraceInvalidate {
+				injected++
+			}
+		case recorder.KindTraceInvalidate:
+			invalidated++
+		}
+	}
+	if injected != fires || invalidated != fires {
+		t.Errorf("journal has %d fault_inject + %d trace_invalidate for %d fires", injected, invalidated, fires)
+	}
+}
+
 // TestChaosRejectsBadPlan covers the error path callers (visbench -chaos)
 // surface to users.
 func TestChaosRejectsBadPlan(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 
 	"visibility/internal/algo"
 	"visibility/internal/apps"
+	"visibility/internal/autotrace"
 	"visibility/internal/cluster"
 	"visibility/internal/core"
 	"visibility/internal/dist"
@@ -44,6 +45,13 @@ type Config struct {
 	// the coherence algorithms themselves (§8); enabling it here measures
 	// how much of the steady-state gap tracing recovers.
 	Tracing bool
+	// AutoTrace enables automatic trace memoization (Yadav et al.): no
+	// brackets are emitted at all — the runtime detects the repeating
+	// iteration structure online and replays it. Two extra warm-up
+	// iterations are excluded from the timed window (one for the detector
+	// to see a full repetition, one to record), so the measured regime is
+	// steady-state replay. Mutually exclusive with Tracing.
+	AutoTrace bool
 	// Mapper overrides task placement (default: owner-computes, the
 	// paper's mapping). Locality-oblivious mappers quantify how much the
 	// implicit-communication machinery has to move.
@@ -103,6 +111,13 @@ func TracedSystemName(algorithm string, dcr, tracing bool) string {
 	return n
 }
 
+// AutoSystemName returns the configuration name for an automatically
+// traced cell. The suffix is the only schema-visible difference between
+// an autotraced cell and its untraced baseline.
+func AutoSystemName(algorithm string, dcr bool) string {
+	return SystemName(algorithm, dcr) + "_auto"
+}
+
 // Run executes one experiment cell.
 func Run(cfg Config) (*Result, error) {
 	newAn, err := algo.Lookup(cfg.Algorithm)
@@ -115,6 +130,9 @@ func Run(cfg Config) (*Result, error) {
 	iters := cfg.MeasureIters
 	if iters == 0 {
 		iters = 3
+	}
+	if cfg.Tracing && cfg.AutoTrace {
+		return nil, fmt.Errorf("harness: Tracing and AutoTrace are mutually exclusive")
 	}
 
 	inst := cfg.App(cfg.Nodes)
@@ -130,11 +148,18 @@ func Run(cfg Config) (*Result, error) {
 	owner := dist.OwnerByPartition(inst.Owned, cfg.Nodes)
 
 	var tracer *trace.Tracer
+	var auto *autotrace.Auto
 	buildAnalyzer := dist.NewAnalyzerFunc(newAn)
 	if cfg.Tracing {
 		buildAnalyzer = func(tree *region.Tree, opts core.Options) core.Analyzer {
 			tracer = trace.New(newAn(tree, opts), opts)
 			return tracer
+		}
+	}
+	if cfg.AutoTrace {
+		buildAnalyzer = func(tree *region.Tree, opts core.Options) core.Analyzer {
+			auto = autotrace.New(newAn(tree, opts), opts)
+			return auto
 		}
 	}
 	distCfg := dist.DefaultConfig(cfg.DCR)
@@ -173,15 +198,24 @@ func Run(cfg Config) (*Result, error) {
 
 	// Steady state. With tracing, the first steady iteration records and
 	// is excluded from the timed window so the replayed regime is what is
-	// measured (Legion measures traced steady state the same way).
+	// measured (Legion measures traced steady state the same way). With
+	// automatic tracing there are two excluded iterations: the detector
+	// commits a candidate once it has seen two full repetitions (iteration
+	// 0 and the first warm-up), and the second warm-up records.
+	warm := 0
 	if tracer != nil {
-		emit(1)
+		warm = 1
+	}
+	if auto != nil {
+		warm = 2
+	}
+	for k := 0; k < warm; k++ {
+		emit(1 + k)
+	}
+	if warm > 0 {
 		initTime = driver.Barrier()
 	}
-	first := 1
-	if tracer != nil {
-		first = 2
-	}
+	first := 1 + warm
 	for k := 0; k < iters; k++ {
 		emit(first + k)
 	}
@@ -202,9 +236,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	span := total * float64(cfg.Nodes)
+	system := TracedSystemName(cfg.Algorithm, cfg.DCR, cfg.Tracing)
+	if cfg.AutoTrace {
+		system = AutoSystemName(cfg.Algorithm, cfg.DCR)
+	}
 	return &Result{
 		Reps:              1,
-		System:            TracedSystemName(cfg.Algorithm, cfg.DCR, cfg.Tracing),
+		System:            system,
 		App:               cfg.AppName,
 		Nodes:             cfg.Nodes,
 		InitTime:          initTime,
@@ -340,13 +378,23 @@ func SweepTraced(app apps.Builder, appName string, maxNodes, iters int, tracing 
 // SweepReps is SweepTraced with each cell repeated reps times and
 // aggregated min-of-reps (see RunReps) instead of measured once.
 func SweepReps(app apps.Builder, appName string, maxNodes, iters, reps int, tracing bool) ([]*Result, error) {
+	return sweepCells(app, appName, maxNodes, iters, reps, tracing, false)
+}
+
+// SweepAuto is SweepReps with automatic trace memoization enabled for
+// every configuration (and explicit tracing off).
+func SweepAuto(app apps.Builder, appName string, maxNodes, iters, reps int) ([]*Result, error) {
+	return sweepCells(app, appName, maxNodes, iters, reps, false, true)
+}
+
+func sweepCells(app apps.Builder, appName string, maxNodes, iters, reps int, tracing, auto bool) ([]*Result, error) {
 	var cells []Config
 	for _, cfg := range PaperConfigs() {
 		for _, n := range NodeSweep(maxNodes) {
 			cells = append(cells, Config{
 				App: app, AppName: appName,
 				Algorithm: cfg.Algorithm, DCR: cfg.DCR,
-				Nodes: n, MeasureIters: iters, Tracing: tracing,
+				Nodes: n, MeasureIters: iters, Tracing: tracing, AutoTrace: auto,
 			})
 		}
 	}
@@ -409,6 +457,7 @@ func WriteFigure(w io.Writer, results []*Result, metric string) error {
 	order := []string{
 		"raycast_dcr", "raycast_nodcr", "warnock_dcr", "warnock_nodcr", "paint_nodcr",
 		"raycast_dcr_trace", "raycast_nodcr_trace", "warnock_dcr_trace", "warnock_nodcr_trace", "paint_nodcr_trace",
+		"raycast_dcr_auto", "raycast_nodcr_auto", "warnock_dcr_auto", "warnock_nodcr_auto", "paint_nodcr_auto",
 	}
 	byCell := make(map[string]map[int]*Result)
 	nodesSet := make(map[int]bool)

@@ -183,6 +183,48 @@ func TestTracingRecoversThroughput(t *testing.T) {
 	}
 }
 
+// TestAutoTraceRecoversThroughput checks that the automatic tracer —
+// given no brackets at all — finds the iteration structure on its own
+// and recovers the same steady-state regime explicit tracing does.
+func TestAutoTraceRecoversThroughput(t *testing.T) {
+	nodes := 128
+	untraced := run(t, circuit.New, "circuit", "raycast", false, nodes)
+	auto, err := harness.Run(harness.Config{
+		App: circuit.New, AppName: "circuit", Algorithm: "raycast",
+		DCR: false, Nodes: nodes, MeasureIters: 2, AutoTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.System != "raycast_nodcr_auto" {
+		t.Errorf("system = %q", auto.System)
+	}
+	if auto.Metrics["autotrace/candidates"] == 0 {
+		t.Fatalf("no candidate detected: %v", auto.Metrics)
+	}
+	if auto.Metrics["trace/replayed"] == 0 {
+		t.Fatal("no launches replayed in the timed window")
+	}
+	if auto.Metrics["trace/invalidations"] != 0 {
+		t.Errorf("unexpected invalidations: %d", auto.Metrics["trace/invalidations"])
+	}
+	if auto.ThroughputPerNode < 2*untraced.ThroughputPerNode {
+		t.Errorf("autotracing should at least double no-DCR throughput at %d nodes: auto=%v untraced=%v",
+			nodes, auto.ThroughputPerNode, untraced.ThroughputPerNode)
+	}
+}
+
+// TestAutoTraceMutualExclusion rejects a cell asking for both modes.
+func TestAutoTraceMutualExclusion(t *testing.T) {
+	_, err := harness.Run(harness.Config{
+		App: stencil.New, AppName: "stencil", Algorithm: "raycast",
+		Nodes: 1, Tracing: true, AutoTrace: true,
+	})
+	if err == nil {
+		t.Fatal("Tracing+AutoTrace cell was accepted")
+	}
+}
+
 // TestOwnerMappingBeatsRandom quantifies locality: the owner-computes
 // mapping (the paper's) must beat a random mapping, which moves every
 // piece's data across the network.

@@ -48,12 +48,16 @@ const (
 	KindSessionOpen       // A=session seq
 	KindSessionClose      // A=session seq
 	KindFaultInject       // A=fault site catalog index (fault.SiteAt), B=site-specific argument
+	KindTraceCommit       // A=trace id, B=period (launches per instance)
+	KindTraceReplay       // A=trace id, B=period; one replayed instance completed
+	KindTraceInvalidate   // A=trace id, B=position in the instance at abort
 )
 
 var kindNames = [...]string{
 	"none", "task_launch", "eq_split", "eq_coalesce", "cache_hit",
 	"cache_miss", "admit_reject", "job_start", "job_done", "worker_fail",
 	"session_open", "session_close", "fault_inject",
+	"trace_commit", "trace_replay", "trace_invalidate",
 }
 
 // String returns the kind's snake_case name ("kind_NN" for unknown

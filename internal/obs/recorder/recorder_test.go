@@ -75,8 +75,11 @@ func TestKindString(t *testing.T) {
 	if got := Kind(200).String(); got != "kind_200" {
 		t.Errorf("unknown kind = %q", got)
 	}
-	if len(kindNames) != int(KindFaultInject)+1 {
-		t.Errorf("kindNames has %d entries for %d kinds", len(kindNames), KindFaultInject+1)
+	if len(kindNames) != int(KindTraceInvalidate)+1 {
+		t.Errorf("kindNames has %d entries for %d kinds", len(kindNames), KindTraceInvalidate+1)
+	}
+	if got := KindTraceReplay.String(); got != "trace_replay" {
+		t.Errorf("KindTraceReplay = %q", got)
 	}
 }
 

@@ -58,6 +58,10 @@ func New(base string) *Client {
 type SessionConfig struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Tracing   bool   `json:"tracing,omitempty"`
+	// Autotrace enables automatic trace memoization for the session: the
+	// server detects repeating launch patterns and replays them without
+	// re-analysis. Mutually exclusive with Tracing.
+	Autotrace bool `json:"autotrace,omitempty"`
 }
 
 // Session is a handle to one server-side session.
@@ -160,6 +164,9 @@ func (c *Client) Restore(checkpoint []byte, cfg SessionConfig) (*Session, error)
 	if cfg.Tracing {
 		path += "&tracing=true"
 	}
+	if cfg.Autotrace {
+		path += "&autotrace=true"
+	}
 	var resp struct {
 		ID string `json:"id"`
 	}
@@ -174,6 +181,7 @@ type SessionInfo struct {
 	ID        string `json:"id"`
 	Algorithm string `json:"algorithm"`
 	Tracing   bool   `json:"tracing"`
+	Autotrace bool   `json:"autotrace"`
 	Queued    int    `json:"queued"`
 	Failed    string `json:"failed,omitempty"`
 }

@@ -165,19 +165,21 @@ func (srv *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 type sessionConfigBody struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Tracing   bool   `json:"tracing,omitempty"`
+	Autotrace bool   `json:"autotrace,omitempty"`
 }
 
 type sessionBody struct {
 	ID        string `json:"id"`
 	Algorithm string `json:"algorithm"`
 	Tracing   bool   `json:"tracing"`
+	Autotrace bool   `json:"autotrace"`
 	Queued    int    `json:"queued"`
 	Failed    string `json:"failed,omitempty"`
 }
 
 func (s *session) describe() sessionBody {
 	_, queued := s.idleSince()
-	body := sessionBody{ID: s.id, Algorithm: s.algorithm, Tracing: s.tracing, Queued: queued}
+	body := sessionBody{ID: s.id, Algorithm: s.algorithm, Tracing: s.tracing, Autotrace: s.autotrace, Queued: queued}
 	if err := s.latchedFailure(); err != nil {
 		body.Failed = err.Error()
 	}
@@ -192,7 +194,7 @@ func (srv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		srv.fail(w, fmt.Errorf("decoding session config: %v", err))
 		return
 	}
-	s, err := srv.createSession(cfg.Algorithm, cfg.Tracing, func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
+	s, err := srv.createSession(cfg.Algorithm, cfg.Tracing, cfg.Autotrace, func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
 		rt := visibility.New(c)
 		return rt, wire.NewEnv(rt), nil
 	})
@@ -205,7 +207,7 @@ func (srv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 
 func (srv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	s, err := srv.createSession(q.Get("algorithm"), q.Get("tracing") == "true",
+	s, err := srv.createSession(q.Get("algorithm"), q.Get("tracing") == "true", q.Get("autotrace") == "true",
 		func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
 			rt, roots, err := visibility.Restore(r.Body, c)
 			if err != nil {

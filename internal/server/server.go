@@ -206,12 +206,15 @@ var errTooManySessions = fmt.Errorf("session limit reached")
 // worker inherits the moment run starts.
 //
 //confined:callbacks session-worker
-func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg visibility.Config) (*visibility.Runtime, *wire.Env, error)) (*session, error) {
+func (srv *Server) createSession(algorithm string, tracing, autotrace bool, seed func(cfg visibility.Config) (*visibility.Runtime, *wire.Env, error)) (*session, error) {
 	if algorithm == "" {
 		algorithm = "raycast"
 	}
 	if _, err := algo.Lookup(algorithm); err != nil {
 		return nil, fmt.Errorf("unknown algorithm %q (have %v)", algorithm, algo.Names())
+	}
+	if tracing && autotrace {
+		return nil, fmt.Errorf("tracing and autotrace are mutually exclusive")
 	}
 	metrics := obs.NewRegistry()
 	// The session buffer shares the server clock so HTTP, queue-wait, and
@@ -220,6 +223,7 @@ func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg v
 	cfg := visibility.Config{
 		Algorithm: algorithm,
 		Tracing:   tracing,
+		AutoTrace: autotrace,
 		Workers:   srv.cfg.Workers,
 		Metrics:   metrics,
 		Spans:     spans,
@@ -244,7 +248,7 @@ func (srv *Server) createSession(algorithm string, tracing bool, seed func(cfg v
 	}
 	srv.nextID++
 	id := fmt.Sprintf("s%06d", srv.nextID)
-	s := srv.newSession(id, algorithm, tracing, rt, env, metrics, spans)
+	s := srv.newSession(id, algorithm, tracing, autotrace, rt, env, metrics, spans)
 	s.seq = int64(srv.nextID)
 	srv.sessions[id] = s
 	srv.active.Set(int64(len(srv.sessions)))

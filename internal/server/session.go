@@ -22,6 +22,7 @@ type session struct {
 	srv       *Server
 	algorithm string
 	tracing   bool
+	autotrace bool
 	created   time.Time
 	seq       int64 // numeric id journaled in flight-recorder events
 
@@ -73,12 +74,13 @@ var (
 // newSession builds a session around an existing runtime and environment
 // (created by the caller; ownership transfers to the worker goroutine the
 // moment run starts).
-func (srv *Server) newSession(id, algorithm string, tracing bool, rt *visibility.Runtime, env *wire.Env, metrics *obs.Registry, spans *obs.Buffer) *session {
+func (srv *Server) newSession(id, algorithm string, tracing, autotrace bool, rt *visibility.Runtime, env *wire.Env, metrics *obs.Registry, spans *obs.Buffer) *session {
 	s := &session{
 		id:        id,
 		srv:       srv,
 		algorithm: algorithm,
 		tracing:   tracing,
+		autotrace: autotrace,
 		created:   time.Now(),
 		rt:        rt,
 		env:       env,

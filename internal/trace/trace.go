@@ -136,6 +136,12 @@ func (tr *Tracer) TraceStats() Stats {
 	}
 }
 
+// Replaying reports whether the tracer is currently inside a replaying
+// instance — the window in which an invalidation actually discards
+// memoized work (the autotracer's forced-invalidation fault site only
+// fires here).
+func (tr *Tracer) Replaying() bool { return tr.mode == replaying }
+
 // Begin starts a trace instance. If the trace id was recorded before, is
 // still valid, and this instance is contiguous with the previous one, the
 // instance replays; otherwise it records.

@@ -40,6 +40,7 @@ import (
 	"sort"
 
 	"visibility/internal/algo"
+	"visibility/internal/autotrace"
 	"visibility/internal/core"
 	"visibility/internal/data"
 	"visibility/internal/deppart"
@@ -133,6 +134,14 @@ type Config struct {
 	// BeginTrace/EndTrace are analyzed once and replayed afterwards,
 	// eliminating the per-launch analysis cost of steady-state loops.
 	Tracing bool
+	// AutoTrace enables automatic trace memoization: the runtime hashes
+	// every launch's structure, detects repeating sections of the launch
+	// stream online, and brackets them itself — the steady-state benefit
+	// of Tracing without BeginTrace/EndTrace calls. Any divergence falls
+	// back to direct analysis, so results are identical to an untraced
+	// run. Mutually exclusive with Tracing (the explicit brackets would
+	// fight the automatic ones).
+	AutoTrace bool
 	// Metrics, when non-nil, is the registry every component of this
 	// runtime publishes into: analyzer operation counters appear under
 	// "analyzer/<root-region-name>/", scheduler cache counters under
@@ -187,6 +196,9 @@ func New(cfg Config) *Runtime {
 	if _, err := algo.Lookup(cfg.Algorithm); err != nil {
 		panic(fmt.Sprintf("visibility: %v", err))
 	}
+	if cfg.Tracing && cfg.AutoTrace {
+		panic("visibility: Tracing and AutoTrace are mutually exclusive")
+	}
 	return &Runtime{cfg: cfg, registered: make(map[string]bool)}
 }
 
@@ -210,8 +222,9 @@ type treeState struct {
 	init   map[field.ID]*data.Store
 	stream *core.Stream
 	exec   *sched.Executor
-	seq    *core.Seq     // non-nil in Validate mode
-	tracer *trace.Tracer // non-nil in Tracing mode
+	seq    *core.Seq       // non-nil in Validate mode
+	tracer *trace.Tracer   // non-nil in Tracing mode
+	auto   *autotrace.Auto // non-nil in AutoTrace mode
 	frozen bool
 }
 
@@ -591,6 +604,10 @@ func (rt *Runtime) freeze(ts *treeState) {
 		ts.tracer = trace.New(an, opts)
 		an = ts.tracer
 	}
+	if rt.cfg.AutoTrace {
+		ts.auto = autotrace.New(an, opts)
+		an = ts.auto
+	}
 	ts.stream = core.NewStream(ts.tree)
 	ts.exec = sched.NewExecutorFault(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics, rt.cfg.Recorder, rt.cfg.Faults)
 	if rt.cfg.Validate {
@@ -623,14 +640,29 @@ func (rt *Runtime) EndTrace(r *Region) {
 }
 
 // TraceStats returns tracing counters for r's tree (zero when tracing is
-// disabled or nothing has launched).
+// disabled or nothing has launched). With AutoTrace, these are the
+// automatic tracer's counters.
 //
 // confined to runtime-owner
 func (rt *Runtime) TraceStats(r *Region) trace.Stats {
+	if r.tree.auto != nil {
+		return r.tree.auto.AutoStats().Trace
+	}
 	if r.tree.tracer == nil {
 		return trace.Stats{}
 	}
 	return r.tree.tracer.TraceStats()
+}
+
+// AutoTraceStats returns the automatic tracer's outcome counters for r's
+// tree (zero when Config.AutoTrace is off or nothing has launched).
+//
+// confined to runtime-owner
+func (rt *Runtime) AutoTraceStats(r *Region) autotrace.Stats {
+	if r.tree.auto == nil {
+		return autotrace.Stats{}
+	}
+	return r.tree.auto.AutoStats()
 }
 
 // kernelAdapter adapts the public Kernel to the internal core.Kernel.
