@@ -1,10 +1,12 @@
 // Command vistop is a live terminal dashboard for a running visserve
-// instance. Each frame it polls /metrics, /v1/sessions, and /debug/spans
-// and renders three tables: per-endpoint HTTP traffic with latency
-// quantiles, per-session throughput, cache behavior, and trace hit rate
-// (the share of launches served by trace replay), and the hottest
-// analysis phases by span time (where analysis wall-clock actually
-// goes). A header row summarizes the latest committed BENCH_<n>.json
+// instance. Each frame it polls /metrics, /v1/sessions, /debug/spans,
+// and /debug/critpath and renders four tables: per-endpoint HTTP traffic
+// with latency quantiles, per-session throughput, cache behavior, and
+// trace hit rate (the share of launches served by trace replay), a CRIT
+// panel with each session tree's weighted critical-path profile
+// (virtual makespan, work, parallelism ratio, heaviest bottleneck
+// task), and the hottest analysis phases by span time (where analysis
+// wall-clock actually goes). A header row summarizes the latest committed BENCH_<n>.json
 // benchmark record (see -bench), so live launch rates read against the
 // repo's measured trajectory baseline. By default it redraws in place
 // every two seconds; -plain appends frames instead (for logs and
@@ -23,6 +25,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"visibility"
 	"visibility/internal/bench"
 	"visibility/internal/server/client"
 )
@@ -120,6 +123,7 @@ type sample struct {
 	sessions map[string]map[string]int64 // per-session registries by id
 	infos    []client.SessionInfo
 	spans    map[string]client.SpanWindow
+	crit     map[string]map[string]visibility.CritSummary
 }
 
 // fetchSample polls the three endpoints a frame is rendered from.
@@ -148,6 +152,9 @@ func fetchSample(c *client.Client) (*sample, error) {
 		return nil, err
 	}
 	if smp.spans, err = c.DebugSpans(); err != nil {
+		return nil, err
+	}
+	if smp.crit, err = c.DebugCritPath(1); err != nil {
 		return nil, err
 	}
 	return smp, nil
@@ -203,6 +210,7 @@ func render(w io.Writer, target, benchLine string, prev, cur *sample, plain bool
 	say(w, "\n")
 	renderHTTP(w, prev, cur, dt)
 	renderSessions(w, prev, cur, dt)
+	renderCrit(w, cur)
 	renderHotSpots(w, cur)
 }
 
@@ -322,8 +330,49 @@ func renderHotSpots(w io.Writer, cur *sample) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	say(tw, "HOT SPOT\tCOUNT\tTOTAL ms\tSHARE\n")
 	for _, s := range spots {
-		say(tw, "%s\t%d\t%.3f\t%.0f%%\n",
-			s.name, s.count, float64(s.total)/1e6, 100*float64(s.total)/float64(grand))
+		// Zero-duration span windows would make SHARE divide by zero (NaN);
+		// render "-" like the other rate columns instead.
+		share := "-"
+		if grand > 0 {
+			share = fmt.Sprintf("%.0f%%", 100*float64(s.total)/float64(grand))
+		}
+		say(tw, "%s\t%d\t%.3f\t%s\n", s.name, s.count, float64(s.total)/1e6, share)
 	}
 	_ = tw.Flush()
+}
+
+// renderCrit tabulates each session tree's weighted critical-path
+// profile: makespan in virtual time, total work, the parallelism ratio
+// (work/makespan — how much speedup the dependence structure admits),
+// and the single heaviest critical task with its makespan share.
+func renderCrit(w io.Writer, cur *sample) {
+	type row struct {
+		session, region string
+		sum             visibility.CritSummary
+	}
+	var rows []row
+	for id, byRegion := range cur.crit {
+		for region, sum := range byRegion {
+			rows = append(rows, row{session: id, region: region, sum: sum})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].session != rows[j].session {
+			return rows[i].session < rows[j].session
+		}
+		return rows[i].region < rows[j].region
+	})
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	say(tw, "CRIT SESSION\tREGION\tTASKS\tLENGTH\tWORK\tPAR\tBOTTLENECK\n")
+	for _, r := range rows {
+		bottleneck := "-"
+		if len(r.sum.Top) > 0 {
+			t := r.sum.Top[0]
+			bottleneck = fmt.Sprintf("%s (%.0f%%)", t.Name, t.SharePct)
+		}
+		say(tw, "%s\t%s\t%d\t%.0f\t%.0f\t%.1f\t%s\n",
+			r.session, r.region, r.sum.Tasks, r.sum.Length, r.sum.Work, r.sum.Parallelism, bottleneck)
+	}
+	_ = tw.Flush()
+	say(w, "\n")
 }

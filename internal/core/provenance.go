@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"visibility/internal/field"
+	"visibility/internal/geometry"
+	"visibility/internal/privilege"
+)
+
+// ReasonKind classifies how one dependence edge was discovered.
+type ReasonKind uint8
+
+const (
+	// ReasonNone is the zero value: no provenance recorded.
+	ReasonNone ReasonKind = iota
+	// ReasonRegion is an interfering region-requirement pair found by an
+	// analyzer's history scan — the content-based dependence test of §3.2.
+	ReasonRegion
+	// ReasonFuture is an explicit future (after) edge: the consumer waits
+	// for the producer's scalar result, no region data involved.
+	ReasonFuture
+	// ReasonReplay is an edge instantiated from a committed trace during
+	// replay: the analyzer never ran, the memoized offsets did.
+	ReasonReplay
+)
+
+func (k ReasonKind) String() string {
+	switch k {
+	case ReasonRegion:
+		return "region"
+	case ReasonFuture:
+		return "future"
+	case ReasonReplay:
+		return "replay"
+	}
+	return "none"
+}
+
+// EdgeReason is the compact provenance of one dependence edge Src → Dst:
+// which analyzer emitted it, in which equivalence set, and which
+// requirement pair interfered (fields, privileges, overlapping points) —
+// or, for future and trace-replay edges, the ordering construct that
+// produced them. Region names are not stored: requirement indices resolve
+// against the task stream at explain time.
+type EdgeReason struct {
+	Src int // producing (earlier) task ID
+	Dst int // consuming (later) task ID
+
+	Kind     ReasonKind
+	Analyzer string // Name() of the emitting analyzer; "" for future edges
+
+	// Region-interference provenance (Kind == ReasonRegion).
+	SrcReq  int                 // producer's requirement index
+	DstReq  int                 // consumer's requirement index
+	Set     int64               // equivalence-set / view token; -1 when inapplicable
+	Field   field.ID            // interfering field
+	SrcPriv privilege.Privilege // producer's privilege (the history entry's)
+	DstPriv privilege.Privilege // consumer's privilege (the requirement's)
+	Overlap geometry.Rect       // bounding box of the interfering points
+
+	// Trace-replay provenance (Kind == ReasonReplay): the committed trace
+	// id the edge was instantiated from; -1 otherwise.
+	Trace int
+}
+
+func (r EdgeReason) String() string {
+	switch r.Kind {
+	case ReasonFuture:
+		return fmt.Sprintf("%d→%d future", r.Src, r.Dst)
+	case ReasonReplay:
+		return fmt.Sprintf("%d→%d replay(trace %d, %s)", r.Src, r.Dst, r.Trace, r.Analyzer)
+	case ReasonRegion:
+		return fmt.Sprintf("%d.%d %v ⟂ %d.%d %v field %d set %d (%s)",
+			r.Src, r.SrcReq, r.SrcPriv, r.Dst, r.DstReq, r.DstPriv, r.Field, r.Set, r.Analyzer)
+	}
+	return fmt.Sprintf("%d→%d none", r.Src, r.Dst)
+}
+
+// TaskCost is one launch's deterministic cost sample, in the virtual units
+// of the distributed cost model: AnalysisOps is the analyzer operation
+// count the launch charged (its analysis duration before the cost model
+// scales ops to seconds), ExecVirt the points its requirements touch (the
+// virtual execution time of a unit-cost-per-point kernel). Both replay
+// identically run to run, so critical paths weighted by them are
+// byte-reproducible — unlike wall-clock span durations.
+type TaskCost struct {
+	AnalysisOps int64
+	ExecVirt    int64
+}
+
+// Provenance accumulates dependence provenance: one EdgeReason per
+// discovered edge and one TaskCost per launch. Like the analyzers that
+// feed it, a Provenance is driven by the single goroutine that submits
+// launches; readers must be on that goroutine (the runtime owner / session
+// worker). It carries no lock by design — the nil-fast-path Options hook
+// keeps it entirely off the analysis path when disabled.
+type Provenance struct {
+	reasons map[int][]EdgeReason // keyed by consumer (Dst); insertion order
+	costs   []TaskCost           // indexed by task ID
+}
+
+// NewProvenance creates an empty provenance store.
+func NewProvenance() *Provenance {
+	return &Provenance{reasons: make(map[int][]EdgeReason)}
+}
+
+// AddReason records r unless an edge Src → Dst already has a reason: the
+// first capture wins, so an analyzer re-finding the same dependence in
+// another equivalence set (or a post-invalidation re-analysis of a
+// replayed launch) never overwrites the provenance the runtime acted on.
+// Emission order is deterministic, so the surviving reason is too.
+func (p *Provenance) AddReason(r EdgeReason) {
+	rs := p.reasons[r.Dst]
+	for i := range rs {
+		if rs[i].Src == r.Src {
+			return
+		}
+	}
+	p.reasons[r.Dst] = append(rs, r)
+}
+
+// Reasons returns the recorded reasons for dst's incoming edges, sorted by
+// producer ID ascending (a fresh slice; callers may keep it).
+func (p *Provenance) Reasons(dst int) []EdgeReason {
+	rs := p.reasons[dst]
+	out := append([]EdgeReason(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Src < out[j].Src })
+	return out
+}
+
+// AddCost records task's cost sample, growing the table as needed.
+func (p *Provenance) AddCost(task int, c TaskCost) {
+	if task < 0 {
+		return
+	}
+	for len(p.costs) <= task {
+		p.costs = append(p.costs, TaskCost{})
+	}
+	p.costs[task] = c
+}
+
+// Cost returns task's recorded cost sample (zero when none was recorded).
+func (p *Provenance) Cost(task int) TaskCost {
+	if task < 0 || task >= len(p.costs) {
+		return TaskCost{}
+	}
+	return p.costs[task]
+}

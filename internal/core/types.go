@@ -162,6 +162,15 @@ func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
 	}
 }
 
+// Ops totals the elementary operation counters — the analyzer's
+// deterministic "analysis duration" in virtual units, the same quantity
+// the distributed cost model scales into simulated seconds. Deltas of
+// Ops around a launch weight that launch's node on the critical path.
+func (s *Stats) Ops() int64 {
+	return s.OverlapTests + s.EntriesScanned + s.ViewsCreated + s.ViewEntries +
+		s.ItemsPruned + s.SetsCreated + s.SetsVisited + s.SetsCoalesced + s.BVHVisited
+}
+
 // Add accumulates o into s.
 func (s *Stats) Add(o *Stats) {
 	s.Launches += o.Launches
@@ -235,6 +244,11 @@ type Options struct {
 	// preserved by Normalize) disables every injection site at the cost of
 	// one pointer test.
 	Faults *fault.Injector
+	// Prov receives dependence provenance: one EdgeReason per emitted
+	// dependence edge and per-launch cost samples. Nil (the default,
+	// preserved by Normalize) disables capture at the cost of one pointer
+	// test per emission site.
+	Prov *Provenance
 }
 
 // Normalize fills in defaults for nil fields (Spans stays nil: a nil

@@ -63,6 +63,9 @@ type Config struct {
 	// (forced equivalence-set splits and migrations) for the driven
 	// analysis; transport faults are armed on the Machine's own Config.
 	Faults *fault.Injector
+	// Prov, when non-nil, collects dependence provenance (EdgeReasons)
+	// from the driven analyzer alongside the simulated execution.
+	Prov *core.Provenance
 }
 
 // DefaultConfig returns cost-model constants calibrated so that a
@@ -181,7 +184,7 @@ func New(m *cluster.Machine, tree *region.Tree, newAnalyzer NewAnalyzerFunc, own
 		owner:        owner,
 		lastAnalysis: make(map[int]cluster.Ref),
 	}
-	opts := core.Options{Probe: d.probe, Owner: owner, Metrics: cfg.Metrics, Spans: cfg.Spans, Recorder: cfg.Recorder, Faults: cfg.Faults}.Normalize()
+	opts := core.Options{Probe: d.probe, Owner: owner, Metrics: cfg.Metrics, Spans: cfg.Spans, Recorder: cfg.Recorder, Faults: cfg.Faults, Prov: cfg.Prov}.Normalize()
 	d.metrics = opts.Metrics
 	d.localOps = d.metrics.NewHistogram("dist/launch_local_ops", 4, 16, 64, 256, 1024, 4096)
 	d.remotes = d.metrics.NewCounter("dist/remote_roundtrips")

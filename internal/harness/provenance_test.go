@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"visibility/internal/algo"
+	"visibility/internal/autotrace"
+	"visibility/internal/core"
+	"visibility/internal/region"
+)
+
+// TestChaosProvenanceCompleteness drives a chaos stream through every
+// analyzer with provenance capture on and requires an EdgeReason for
+// every reported dependence edge, consistent with the exact-interference
+// ground truth: each region reason names a requirement pair that really
+// interferes (core.ReqsInterfere) under the privileges it recorded. The
+// same factories also pass core.Verify, so capture provably does not
+// perturb the analysis.
+func TestChaosProvenanceCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := chaosTree(rng)
+	stream := chaosStream(rng, tree, 150)
+	init := chaosInit(tree)
+
+	for _, name := range algo.Names() {
+		newAn, err := algo.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov := core.NewProvenance()
+		an := newAn(tree, core.Options{Prov: prov})
+		eng := core.NewEngine(tree, an, init)
+		for _, task := range stream.Tasks {
+			res := eng.Launch(task, core.HashKernel{})
+			reasons := prov.Reasons(task.ID)
+			for _, d := range core.DedupDeps(res.Deps) {
+				if d == core.InitialTask {
+					continue
+				}
+				var match *core.EdgeReason
+				for i := range reasons {
+					if reasons[i].Src == d {
+						match = &reasons[i]
+						break
+					}
+				}
+				if match == nil {
+					t.Fatalf("%s: task %d dep on %d has no EdgeReason (have %v)",
+						name, task.ID, d, reasons)
+				}
+				if match.Kind != core.ReasonRegion {
+					t.Fatalf("%s: task %d dep on %d: kind %v, want region", name, task.ID, d, match.Kind)
+				}
+				if match.Analyzer != name {
+					t.Errorf("%s: task %d dep on %d credited to analyzer %q", name, task.ID, d, match.Analyzer)
+				}
+				src := stream.Tasks[d]
+				if match.SrcReq < 0 || match.SrcReq >= len(src.Reqs) ||
+					match.DstReq < 0 || match.DstReq >= len(task.Reqs) {
+					t.Fatalf("%s: task %d dep on %d: req indices %d/%d out of range",
+						name, task.ID, d, match.SrcReq, match.DstReq)
+				}
+				sreq, dreq := src.Reqs[match.SrcReq], task.Reqs[match.DstReq]
+				if !core.ReqsInterfere(sreq, dreq) {
+					t.Fatalf("%s: task %d dep on %d: recorded req pair %d/%d does not interfere (%v vs %v)",
+						name, task.ID, d, match.SrcReq, match.DstReq, sreq, dreq)
+				}
+				if !match.SrcPriv.Same(sreq.Priv) || !match.DstPriv.Same(dreq.Priv) {
+					t.Errorf("%s: task %d dep on %d: recorded privileges %v/%v, req privileges %v/%v",
+						name, task.ID, d, match.SrcPriv, match.DstPriv, sreq.Priv, dreq.Priv)
+				}
+				if match.Field != dreq.Field {
+					t.Errorf("%s: task %d dep on %d: recorded field %d, req field %d",
+						name, task.ID, d, match.Field, dreq.Field)
+				}
+			}
+		}
+	}
+
+	// The captured analyzers still pass the full coherence + soundness
+	// gate: provenance is observation, not behavior.
+	var factories []core.Factory
+	for _, name := range algo.Names() {
+		newAn, _ := algo.Lookup(name)
+		factories = append(factories, core.Factory{Name: name, New: func(tr *region.Tree) core.Analyzer {
+			return newAn(tr, core.Options{Prov: core.NewProvenance()})
+		}})
+	}
+	if err := core.Verify(stream, init, core.HashKernel{}, factories...); err != nil {
+		t.Fatalf("Verify with provenance enabled: %v", err)
+	}
+}
+
+// TestChaosProvenanceReplay drives a periodic stream through an
+// autotraced analyzer with capture on: replayed instances bypass the
+// analyzer, so their edges must carry replay reasons naming the
+// committed trace, while analyzed instances keep region reasons.
+func TestChaosProvenanceReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree := chaosTree(rng)
+	loop := chaosLoopStream(rng, tree, 10)
+	init := chaosInit(tree)
+
+	prov := core.NewProvenance()
+	opts := core.Options{Prov: prov}
+	newRay, _ := algo.Lookup("raycast")
+	auto := autotrace.New(newRay(tree, opts), opts)
+	eng := core.NewEngine(tree, auto, init)
+
+	replayEdges := 0
+	for _, task := range loop.Tasks {
+		res := eng.Launch(task, core.HashKernel{})
+		reasons := prov.Reasons(task.ID)
+		for _, d := range core.DedupDeps(res.Deps) {
+			if d == core.InitialTask {
+				continue
+			}
+			found := false
+			for _, r := range reasons {
+				if r.Src != d {
+					continue
+				}
+				found = true
+				switch r.Kind {
+				case core.ReasonReplay:
+					replayEdges++
+					if r.Trace < 0 {
+						t.Fatalf("task %d dep on %d: replay reason without a trace id", task.ID, d)
+					}
+				case core.ReasonRegion:
+					// analyzed instance: fine
+				default:
+					t.Fatalf("task %d dep on %d: unexpected reason kind %v", task.ID, d, r.Kind)
+				}
+			}
+			if !found {
+				t.Fatalf("task %d dep on %d has no EdgeReason under autotrace", task.ID, d)
+			}
+		}
+	}
+	if auto.AutoStats().Trace.Replayed == 0 {
+		t.Fatal("autotrace never replayed; the replay leg tested nothing")
+	}
+	if replayEdges == 0 {
+		t.Fatal("no replay-provenance edges captured despite replays")
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TypedMetric is one instrument exported with its kind intact — unlike
+// Snapshot, which flattens histograms into scalar entries, this is the
+// shape a Prometheus exposition needs (bucket structure preserved).
+type TypedMetric struct {
+	Name  string
+	Kind  string // "counter", "gauge", or "histogram"
+	Value int64  // counter/gauge value; unused for histograms
+	Hist  *HistogramView
+}
+
+// Typed captures every registered metric with its kind, sorted by name.
+// Computed metrics export as gauges (they wrap externally-owned values
+// whose monotonicity the registry cannot vouch for).
+func (r *Registry) Typed() []TypedMetric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TypedMetric, 0, len(r.instruments)+len(r.funcs))
+	for name, inst := range r.instruments {
+		switch m := inst.(type) {
+		case *Counter:
+			out = append(out, TypedMetric{Name: name, Kind: "counter", Value: m.Load()})
+		case *Gauge:
+			out = append(out, TypedMetric{Name: name, Kind: "gauge", Value: m.Load()})
+		case *Histogram:
+			v := m.View()
+			out = append(out, TypedMetric{Name: name, Kind: "histogram", Hist: &v})
+		}
+	}
+	for name, fn := range r.funcs {
+		out = append(out, TypedMetric{Name: name, Kind: "gauge", Value: fn()})
+	}
+	// Sorted by name: the exposition is deterministic and map iteration
+	// order never reaches the wire.
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// promName maps a slash-separated registry name to the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelSet renders a deterministic {k="v",...} label block: base
+// pairs sorted by key, then the extra pair (a histogram's le) last.
+// Empty input renders as "".
+func promLabelSet(base map[string]string, extraKey, extraVal string) string {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", promName(k), base[k]))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraKey, extraVal))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteProm writes metrics in the Prometheus text exposition format
+// (version 0.0.4), with the given labels attached to every sample.
+// Counters render with the conventional _total suffix; histograms render
+// cumulative _bucket series with an +Inf bucket plus _sum and _count.
+// Identical inputs produce byte-identical output: metrics arrive sorted
+// from Typed and labels render in sorted key order.
+func WriteProm(w io.Writer, metrics []TypedMetric, labels map[string]string) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for _, m := range metrics {
+		name := promName(m.Name)
+		switch m.Kind {
+		case "counter":
+			if err := p("# TYPE %s_total counter\n%s_total%s %d\n",
+				name, name, promLabelSet(labels, "", ""), m.Value); err != nil {
+				return err
+			}
+		case "gauge":
+			if err := p("# TYPE %s gauge\n%s%s %d\n",
+				name, name, promLabelSet(labels, "", ""), m.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			if err := p("# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var cum int64
+			for i, b := range m.Hist.Bounds {
+				cum += m.Hist.Counts[i]
+				if err := p("%s_bucket%s %d\n",
+					name, promLabelSet(labels, "le", strconv.FormatInt(b, 10)), cum); err != nil {
+					return err
+				}
+			}
+			if err := p("%s_bucket%s %d\n",
+				name, promLabelSet(labels, "le", "+Inf"), m.Hist.Count); err != nil {
+				return err
+			}
+			if err := p("%s_sum%s %d\n%s_count%s %d\n",
+				name, promLabelSet(labels, "", ""), m.Hist.Sum,
+				name, promLabelSet(labels, "", ""), m.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -51,6 +51,9 @@ const (
 	KindTraceCommit       // A=trace id, B=period (launches per instance)
 	KindTraceReplay       // A=trace id, B=period; one replayed instance completed
 	KindTraceInvalidate   // A=trace id, B=position in the instance at abort
+	KindReasonCapture     // A=task ID, B=dependence reasons captured for it
+	KindExplainQuery      // A=queried task ID, B=edges explained
+	KindCritPath          // A=critical-path length (tasks), B=makespan (virtual units, rounded)
 )
 
 var kindNames = [...]string{
@@ -58,6 +61,7 @@ var kindNames = [...]string{
 	"cache_miss", "admit_reject", "job_start", "job_done", "worker_fail",
 	"session_open", "session_close", "fault_inject",
 	"trace_commit", "trace_replay", "trace_invalidate",
+	"reason_capture", "explain_query", "crit_path",
 }
 
 // String returns the kind's snake_case name ("kind_NN" for unknown

@@ -75,11 +75,40 @@ func TestKindString(t *testing.T) {
 	if got := Kind(200).String(); got != "kind_200" {
 		t.Errorf("unknown kind = %q", got)
 	}
-	if len(kindNames) != int(KindTraceInvalidate)+1 {
-		t.Errorf("kindNames has %d entries for %d kinds", len(kindNames), KindTraceInvalidate+1)
+	if len(kindNames) != int(KindCritPath)+1 {
+		t.Errorf("kindNames has %d entries for %d kinds", len(kindNames), KindCritPath+1)
 	}
 	if got := KindTraceReplay.String(); got != "trace_replay" {
 		t.Errorf("KindTraceReplay = %q", got)
+	}
+}
+
+// TestKindPin freezes the event-kind numbering and names: kinds are part
+// of the VISFREC1 binary dump format, so renumbering or renaming an
+// existing kind breaks old dumps. New kinds must append at the end.
+func TestKindPin(t *testing.T) {
+	pins := []struct {
+		kind Kind
+		num  uint8
+		name string
+	}{
+		{KindNone, 0, "none"},
+		{KindTaskLaunch, 1, "task_launch"},
+		{KindEqSplit, 2, "eq_split"},
+		{KindEqCoalesce, 3, "eq_coalesce"},
+		{KindCacheHit, 4, "cache_hit"},
+		{KindTraceInvalidate, 15, "trace_invalidate"},
+		{KindReasonCapture, 16, "reason_capture"},
+		{KindExplainQuery, 17, "explain_query"},
+		{KindCritPath, 18, "crit_path"},
+	}
+	for _, p := range pins {
+		if uint8(p.kind) != p.num {
+			t.Errorf("kind %s renumbered: got %d, want %d (append-only format)", p.name, p.kind, p.num)
+		}
+		if got := p.kind.String(); got != p.name {
+			t.Errorf("kind %d renamed: got %q, want %q", p.num, got, p.name)
+		}
 	}
 }
 

@@ -79,6 +79,13 @@ func (n *Naive) Analyze(t *Task) *core.Result {
 			if privilege.Interferes(e.Priv, req.Priv) {
 				deps = append(deps, e.Task)
 				n.stats.DepsReported++
+				if n.opts.Prov != nil && e.Task != core.InitialTask {
+					n.opts.Prov.AddReason(core.EdgeReason{
+						Src: e.Task, Dst: t.ID, Kind: core.ReasonRegion, Analyzer: "paint-naive",
+						SrcReq: e.Req, DstReq: ri, Set: -1, Field: req.Field,
+						SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: inter.Bounds(), Trace: -1,
+					})
+				}
 			}
 			if !req.Priv.IsReduce() && e.Priv.Mutates() {
 				plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: inter})

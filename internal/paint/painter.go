@@ -176,7 +176,7 @@ func (pa *Painter) Analyze(t *core.Task) *core.Result {
 				continue
 			}
 			before := pa.stats.EntriesScanned
-			deps, plan = pa.scanItems(ns.hist, req, deps, plan)
+			deps, plan = pa.scanItems(ns.hist, req, t.ID, ri, -1, deps, plan)
 			pa.opts.Probe.Touch(core.LocalOwner, pa.stats.EntriesScanned-before+1)
 		}
 		scan.End()
@@ -366,8 +366,11 @@ func (pa *Painter) partitionByID(id int) *region.Partition {
 }
 
 // scanItems traverses history items in order, expanding composite views,
-// collecting dependences and plan entries for req.
-func (pa *Painter) scanItems(items []item, req core.Req, deps []int, plan []core.Visible) ([]int, []core.Visible) {
+// collecting dependences and plan entries for req. dst and ri identify the
+// launch and requirement being materialized; set is the enclosing
+// composite view's token (-1 at a node's direct history), carried down so
+// provenance records where the interfering entry was found.
+func (pa *Painter) scanItems(items []item, req core.Req, dst, ri int, set int64, deps []int, plan []core.Visible) ([]int, []core.Visible) {
 	for _, it := range items {
 		if it.view != nil {
 			pa.stats.OverlapTests++
@@ -378,7 +381,7 @@ func (pa *Painter) scanItems(items []item, req core.Req, deps []int, plan []core
 			if !it.view.pts.Overlaps(req.Region.Space) {
 				continue
 			}
-			deps, plan = pa.scanItems(it.view.items, req, deps, plan)
+			deps, plan = pa.scanItems(it.view.items, req, dst, ri, it.view.id, deps, plan)
 			continue
 		}
 		e := it.entry
@@ -391,6 +394,13 @@ func (pa *Painter) scanItems(items []item, req core.Req, deps []int, plan []core
 		if privilege.Interferes(e.Priv, req.Priv) {
 			deps = append(deps, e.Task)
 			pa.stats.DepsReported++
+			if pa.opts.Prov != nil && e.Task != core.InitialTask {
+				pa.opts.Prov.AddReason(core.EdgeReason{
+					Src: e.Task, Dst: dst, Kind: core.ReasonRegion, Analyzer: "paint",
+					SrcReq: e.Req, DstReq: ri, Set: set, Field: req.Field,
+					SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: inter.Bounds(), Trace: -1,
+				})
+			}
 		}
 		if !req.Priv.IsReduce() && e.Priv.Mutates() {
 			plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: inter})

@@ -441,6 +441,13 @@ func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 				if privilege.Interferes(e.Priv, req.Priv) {
 					deps = append(deps, e.Task)
 					rc.stats.DepsReported++
+					if rc.opts.Prov != nil && e.Task != core.InitialTask {
+						rc.opts.Prov.AddReason(core.EdgeReason{
+							Src: e.Task, Dst: t.ID, Kind: core.ReasonRegion, Analyzer: "raycast",
+							SrcReq: e.Req, DstReq: ri, Set: int64(s.id), Field: req.Field,
+							SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: s.pts.Bounds(), Trace: -1,
+						})
+					}
 				}
 				if !req.Priv.IsReduce() && e.Priv.Mutates() {
 					plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: s.pts})

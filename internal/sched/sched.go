@@ -70,6 +70,13 @@ type Executor struct {
 	// misses, exercising the invariant that the cache is a pure
 	// optimization.
 	faults *fault.Injector
+
+	// prov, when non-nil, accumulates per-launch cost samples (analyzer
+	// op deltas, virtual exec time) next to the EdgeReasons the analyzer
+	// itself records through the shared core.Provenance.
+	//
+	// confined to sched-submit
+	prov *core.Provenance
 }
 
 type commitKey struct {
@@ -105,6 +112,13 @@ func NewExecutorObs(tree *region.Tree, an core.Analyzer, init map[field.ID]*data
 // NewExecutorFault is NewExecutorObs with a fault-injection plane wired
 // into the scheduler's sites (nil disables them).
 func NewExecutorFault(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int, metrics *obs.Registry, rec *recorder.Recorder, faults *fault.Injector) *Executor {
+	return NewExecutorProv(tree, an, init, workers, metrics, rec, faults, nil)
+}
+
+// NewExecutorProv is NewExecutorFault that additionally samples
+// per-launch costs into prov (nil disables sampling; the analyzer's own
+// EdgeReason capture is wired through core.Options.Prov separately).
+func NewExecutorProv(tree *region.Tree, an core.Analyzer, init map[field.ID]*data.Store, workers int, metrics *obs.Registry, rec *recorder.Recorder, faults *fault.Injector, prov *core.Provenance) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
@@ -125,6 +139,7 @@ func NewExecutorFault(tree *region.Tree, an core.Analyzer, init map[field.ID]*da
 		cacheMiss: metrics.NewCounter("sched/cache/misses"),
 		rec:       rec,
 		faults:    faults,
+		prov:      prov,
 	}
 	for f, s := range init {
 		x.init[f] = s.Clone()
@@ -149,9 +164,25 @@ func (x *Executor) Analyzer() core.Analyzer { return x.an }
 // confined to sched-submit
 func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.Store)) *event.Event {
 	x.rec.Log(recorder.KindTaskLaunch, int64(t.ID), int64(len(t.Reqs)))
+	var opsBefore int64
+	if x.prov != nil {
+		opsBefore = x.an.Stats().Ops()
+	}
 	res := x.an.Analyze(t)
 	if len(res.Plans) != len(t.Reqs) {
 		panic(fmt.Sprintf("sched: analyzer %s returned %d plans for %d reqs", x.an.Name(), len(res.Plans), len(t.Reqs)))
+	}
+	if x.prov != nil {
+		// The launch's deterministic cost sample: the analyzer operations
+		// this Analyze charged, plus the points its requirements touch as
+		// a unit-cost virtual execution time. Both replay identically, so
+		// critical paths weighted by them are byte-reproducible.
+		var exec int64
+		for _, req := range t.Reqs {
+			exec += req.Region.Space.Volume()
+		}
+		x.prov.AddCost(t.ID, core.TaskCost{AnalysisOps: x.an.Stats().Ops() - opsBefore, ExecVirt: exec})
+		x.rec.Log(recorder.KindReasonCapture, int64(t.ID), int64(len(x.prov.Reasons(t.ID))))
 	}
 
 	x.mu.Lock()

@@ -158,6 +158,12 @@ func (c *Client) CreateSession(cfg SessionConfig) (*Session, error) {
 	return &Session{c: c, ID: resp.ID}, nil
 }
 
+// Session returns a handle to an existing server-side session by id
+// (no server round-trip; a bad id surfaces as a 404 on first use).
+func (c *Client) Session(id string) *Session {
+	return &Session{c: c, ID: id}
+}
+
 // Restore creates a session seeded from a checkpoint.
 func (c *Client) Restore(checkpoint []byte, cfg SessionConfig) (*Session, error) {
 	path := "/v1/sessions/restore?algorithm=" + cfg.Algorithm
@@ -289,6 +295,110 @@ func (s *Session) Dependences(region string) ([]visibility.TaskInfo, error) {
 		return nil, err
 	}
 	return resp.Tasks, nil
+}
+
+// ExplainResult is the server's provenance answer for one task: the
+// resolved region, the task's incoming edges, and — when the query named
+// a source task — the O(1) mustPrecede verdict for that (src, task) pair.
+type ExplainResult struct {
+	Region      string                  `json:"region"`
+	Explain     *visibility.TaskExplain `json:"explain"`
+	Src         int                     `json:"src"`
+	MustPrecede bool                    `json:"mustPrecede"`
+}
+
+// Explain returns the provenance of every incoming dependence edge of
+// the given task. An empty region selects the server's default (first
+// root region, sorted by name).
+func (s *Session) Explain(region string, task int) (*ExplainResult, error) {
+	path := "/v1/sessions/" + s.ID + "/explain?task=" + strconv.Itoa(task)
+	if region != "" {
+		path += "&region=" + region
+	}
+	var out ExplainResult
+	if err := s.c.do("GET", path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Why returns the provenance edges from src into dst plus whether src
+// must precede dst in every legal execution. An empty region selects the
+// server's default root region.
+func (s *Session) Why(region string, src, dst int) (*ExplainResult, error) {
+	path := "/v1/sessions/" + s.ID + "/explain?task=" + strconv.Itoa(dst) + "&src=" + strconv.Itoa(src)
+	if region != "" {
+		path += "&region=" + region
+	}
+	var out ExplainResult
+	if err := s.c.do("GET", path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CritPath returns the weighted critical-path profile of the session's
+// dependence graph; k bounds the bottleneck attribution (k<=0 uses the
+// server default). An empty region selects the server's default root
+// region.
+func (s *Session) CritPath(region string, k int) (*visibility.CritSummary, error) {
+	path := "/v1/sessions/" + s.ID + "/critpath"
+	sep := "?"
+	if region != "" {
+		path += sep + "region=" + region
+		sep = "&"
+	}
+	if k > 0 {
+		path += sep + "k=" + strconv.Itoa(k)
+	}
+	var resp struct {
+		CritPath *visibility.CritSummary `json:"critpath"`
+	}
+	if err := s.c.do("GET", path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.CritPath, nil
+}
+
+// CritDOT returns the dependence graph in Graphviz format with the
+// weighted critical path highlighted and time-annotated.
+func (s *Session) CritDOT(region string) (string, error) {
+	path := "/v1/sessions/" + s.ID + "/critpath?format=dot"
+	if region != "" {
+		path += "&region=" + region
+	}
+	var raw []byte
+	if err := s.c.do("GET", path, nil, &raw); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// DebugCritPath sweeps every live session and returns per-session,
+// per-root-region critical-path summaries (k<=0 uses the server
+// default).
+func (c *Client) DebugCritPath(k int) (map[string]map[string]visibility.CritSummary, error) {
+	path := "/debug/critpath"
+	if k > 0 {
+		path += "?k=" + strconv.Itoa(k)
+	}
+	var resp struct {
+		Sessions map[string]map[string]visibility.CritSummary `json:"sessions"`
+	}
+	if err := c.do("GET", path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
+}
+
+// PromMetrics returns the server's Prometheus text exposition
+// (?format=prom on /metrics).
+func (c *Client) PromMetrics() ([]byte, error) {
+	var raw []byte
+	if err := c.do("GET", "/metrics?format=prom", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
 }
 
 // DOT returns the dependence graph in Graphviz format.

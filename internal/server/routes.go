@@ -13,6 +13,7 @@ import (
 
 	"visibility"
 	"visibility/internal/obs"
+	"visibility/internal/obs/recorder"
 	"visibility/internal/wire"
 )
 
@@ -57,6 +58,8 @@ func (srv *Server) routes() {
 	handle("POST /v1/sessions/{id}/workloads", "workloads", srv.handleWorkloads)
 	handle("GET /v1/sessions/{id}/snapshot", "snapshot", srv.handleSnapshot)
 	handle("GET /v1/sessions/{id}/graph", "graph", srv.handleGraph)
+	handle("GET /v1/sessions/{id}/explain", "explain", srv.handleExplain)
+	handle("GET /v1/sessions/{id}/critpath", "critpath", srv.handleCritPath)
 	handle("GET /v1/sessions/{id}/dot", "dot", srv.handleDOT)
 	handle("GET /v1/sessions/{id}/checkpoint", "checkpoint", srv.handleCheckpoint)
 	handle("GET /v1/sessions/{id}/metrics", "session_metrics", srv.handleSessionMetrics)
@@ -65,6 +68,7 @@ func (srv *Server) routes() {
 	handle("GET /debug/spans", "debug_spans", srv.handleDebugSpans)
 	handle("GET /debug/trace", "debug_trace", srv.handleDebugTrace)
 	handle("GET /debug/recorder", "debug_recorder", srv.handleDebugRecorder)
+	handle("GET /debug/critpath", "debug_critpath", srv.handleDebugCritPath)
 	handle("GET /healthz", "healthz", srv.handleHealthz)
 	if srv.cfg.EnablePprof {
 		// Raw mounts: profiling endpoints stay out of the metrics/tracing
@@ -358,6 +362,160 @@ func (srv *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"region": name, "tasks": tasks})
 }
 
+// envRegion resolves the ?region= value against the session environment,
+// defaulting to the lexicographically first root region when the query is
+// empty. Must run inside a sync job: the environment belongs to the
+// session worker.
+func envRegion(s *session, name string) *visibility.Region {
+	if name != "" {
+		return s.env.Region(name)
+	}
+	names := make([]string, 0, 4)
+	for _, reg := range s.env.Regions() {
+		names = append(names, reg.Name())
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	return s.env.Region(names[0])
+}
+
+// handleExplain serves dependence provenance: ?task=N returns the
+// EdgeReason of every incoming edge of task N; an optional &src=A
+// restricts the edges to producer A and adds an O(1) mustPrecede verdict
+// (label-based, no graph walk). ?region= selects the root region tree
+// (default: first region, sorted by name).
+func (srv *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	task, err := strconv.Atoi(r.URL.Query().Get("task"))
+	if err != nil || task < 0 {
+		srv.fail(w, fmt.Errorf("invalid task %q", r.URL.Query().Get("task")))
+		return
+	}
+	src := -1
+	if q := r.URL.Query().Get("src"); q != "" {
+		if src, err = strconv.Atoi(q); err != nil || src < 0 {
+			srv.fail(w, fmt.Errorf("invalid src %q", q))
+			return
+		}
+	}
+	name := regionParam(r)
+	var (
+		ex          *visibility.TaskExplain
+		mustPrecede bool
+		regionName  string
+		missing     string
+	)
+	err = srv.doSync(s, traceContext(r), func() {
+		reg := envRegion(s, name)
+		if reg == nil {
+			missing = "region " + name
+			return
+		}
+		regionName = reg.Name()
+		ex = s.rt.Explain(reg, task)
+		if ex != nil && src >= 0 {
+			edges := ex.Edges[:0]
+			for _, e := range ex.Edges {
+				if e.Src == src {
+					edges = append(edges, e)
+				}
+			}
+			ex.Edges = edges
+			mustPrecede = s.rt.MustPrecede(reg, src, task)
+		}
+	})
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	if missing != "" {
+		notFound(w, missing)
+		return
+	}
+	if ex == nil {
+		notFound(w, fmt.Sprintf("task %d", task))
+		return
+	}
+	srv.rec.Log(recorder.KindExplainQuery, int64(task), int64(len(ex.Edges)))
+	body := map[string]any{"region": regionName, "explain": ex}
+	if src >= 0 {
+		body["src"] = src
+		body["mustPrecede"] = mustPrecede
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleCritPath serves the weighted critical-path profile of one session
+// tree: ?k= bounds the bottleneck attribution (default 5), ?format=dot
+// renders the DAG with the critical path highlighted instead of JSON.
+func (srv *Server) handleCritPath(w http.ResponseWriter, r *http.Request) {
+	s := srv.lookup(w, r)
+	if s == nil {
+		return
+	}
+	k := 5
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			srv.fail(w, fmt.Errorf("invalid k %q", q))
+			return
+		}
+		k = v
+	}
+	dot := r.URL.Query().Get("format") == "dot"
+	name := regionParam(r)
+	var (
+		sum        *visibility.CritSummary
+		buf        bytes.Buffer
+		dotErr     error
+		regionName string
+		missing    string
+	)
+	err := srv.doSync(s, traceContext(r), func() {
+		reg := envRegion(s, name)
+		if reg == nil {
+			missing = "region " + name
+			return
+		}
+		regionName = reg.Name()
+		if dot {
+			dotErr = s.rt.WriteDOTCrit(reg, &buf)
+			return
+		}
+		sum = s.rt.CriticalPath(reg, k)
+	})
+	if err != nil {
+		srv.fail(w, err)
+		return
+	}
+	if missing != "" {
+		notFound(w, missing)
+		return
+	}
+	if dot {
+		if dotErr != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: dotErr.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			_ = err // client went away mid-body
+		}
+		return
+	}
+	if sum == nil {
+		notFound(w, "critical path (nothing launched)")
+		return
+	}
+	srv.rec.Log(recorder.KindCritPath, int64(len(sum.Path)), int64(sum.Length))
+	writeJSON(w, http.StatusOK, map[string]any{"region": regionName, "critpath": sum})
+}
+
 func (srv *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 	s := srv.lookup(w, r)
 	if s == nil {
@@ -447,8 +605,14 @@ func (srv *Server) handleSessionMetrics(w http.ResponseWriter, r *http.Request) 
 
 // handleMetrics merges the server registry with every session's registry
 // (namespaced by session id). A session too busy to snapshot reports
-// "unavailable" rather than stalling the endpoint.
+// "unavailable" rather than stalling the endpoint. ?format=prom switches
+// to the Prometheus text exposition: server metrics unlabeled, session
+// metrics labeled {session="<id>"}, names sorted within each block.
 func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		srv.handleMetricsProm(w, r)
+		return
+	}
 	out := map[string]any{"server": srv.metrics.Snapshot()}
 	sessions := map[string]any{}
 	for _, s := range srv.sessionList() {
@@ -460,6 +624,24 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	out["sessions"] = sessions
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (srv *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := obs.WriteProm(w, srv.metrics.Typed(), nil); err != nil {
+		return // client went away mid-body
+	}
+	list := srv.sessionList()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	for _, s := range list {
+		var rows []obs.TypedMetric
+		if err := srv.doSync(s, traceContext(r), func() { rows = s.metrics.Typed() }); err != nil {
+			continue // busy session: omit rather than stall the scrape
+		}
+		if err := obs.WriteProm(w, rows, map[string]string{"session": s.id}); err != nil {
+			return
+		}
+	}
 }
 
 type spansBody struct {
@@ -530,6 +712,41 @@ func (srv *Server) handleDebugRecorder(w http.ResponseWriter, r *http.Request) {
 		"total":   srv.rec.Len(),
 		"dropped": srv.rec.Dropped(),
 	})
+}
+
+// handleDebugCritPath sweeps every live session and reports the weighted
+// critical-path summary of each root region tree (?k= bounds bottleneck
+// attribution, default 3). Sessions too busy to query are skipped.
+func (srv *Server) handleDebugCritPath(w http.ResponseWriter, r *http.Request) {
+	k := 3
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			srv.fail(w, fmt.Errorf("invalid k %q", q))
+			return
+		}
+		k = v
+	}
+	list := srv.sessionList()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	sessions := map[string]any{}
+	for _, s := range list {
+		byRegion := map[string]*visibility.CritSummary{}
+		err := srv.doSync(s, traceContext(r), func() {
+			regs := s.env.Regions()
+			sort.Slice(regs, func(i, j int) bool { return regs[i].Name() < regs[j].Name() })
+			for _, reg := range regs {
+				if sum := s.rt.CriticalPath(reg, k); sum != nil {
+					byRegion[reg.Name()] = sum
+				}
+			}
+		})
+		if err != nil {
+			continue // busy session: omit rather than stall the sweep
+		}
+		sessions[s.id] = byRegion
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": sessions})
 }
 
 func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -229,6 +229,11 @@ func (srv *Server) createSession(algorithm string, tracing, autotrace bool, seed
 		Spans:     spans,
 		Recorder:  srv.rec,
 		Faults:    srv.cfg.Faults,
+		// Provenance stays on for every session: the explain and critical-
+		// path endpoints must answer for any workload after the fact, and
+		// the capture cost is bounded by the same <3% obs gate as the rest
+		// of the always-on instrumentation.
+		Provenance: true,
 	}
 	rt, env, err := seed(cfg)
 	if err != nil {

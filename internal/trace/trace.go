@@ -376,6 +376,19 @@ func (tr *Tracer) instantiate(t *core.Task, rec recordedResult) *core.Result {
 		res.Deps = append(res.Deps, tr.startID+off)
 	}
 	res.Deps = core.DedupDeps(res.Deps)
+	if tr.opts.Prov != nil {
+		// Replayed launches never reach the analyzer, so their edges carry
+		// trace provenance: the committed trace the offsets came from.
+		// First-capture-wins in the store means a later invalidation
+		// re-analysis cannot overwrite these — the replay is what the
+		// runtime acted on.
+		for _, d := range res.Deps {
+			tr.opts.Prov.AddReason(core.EdgeReason{
+				Src: d, Dst: t.ID, Kind: core.ReasonReplay,
+				Analyzer: tr.an.Name(), Set: -1, Trace: tr.active.id,
+			})
+		}
+	}
 	for ri, plan := range rec.plans {
 		for _, rv := range plan {
 			v := core.Visible{Req: rv.req, Priv: rv.priv, Pts: rv.pts}

@@ -320,6 +320,13 @@ func (w *Warnock) Analyze(t *core.Task) *core.Result {
 				if privilege.Interferes(e.Priv, req.Priv) {
 					deps = append(deps, e.Task)
 					w.stats.DepsReported++
+					if w.opts.Prov != nil && e.Task != core.InitialTask {
+						w.opts.Prov.AddReason(core.EdgeReason{
+							Src: e.Task, Dst: t.ID, Kind: core.ReasonRegion, Analyzer: "warnock",
+							SrcReq: e.Req, DstReq: ri, Set: b.id, Field: req.Field,
+							SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: s.pts.Bounds(), Trace: -1,
+						})
+					}
 				}
 				if !req.Priv.IsReduce() && e.Priv.Mutates() {
 					plan = append(plan, core.Visible{Task: e.Task, Req: e.Req, Priv: e.Priv, Pts: s.pts})

@@ -163,6 +163,14 @@ type Config struct {
 	// instance-cache bypasses in the scheduler, and bit-flip corruption on
 	// checkpoint encode/restore. Nil (the default) disables every site.
 	Faults *fault.Injector
+	// Provenance enables dependence provenance capture: every discovered
+	// dependence edge carries a compact EdgeReason (which analyzer found
+	// it, in which equivalence set, which requirement pair interfered —
+	// or the future/trace-replay construct that ordered it), and every
+	// launch samples a deterministic virtual cost. Explain, MustPrecede,
+	// and CriticalPath serve queries over the captured data. Off (the
+	// default), the capture sites cost one pointer test each.
+	Provenance bool
 }
 
 // Runtime is an implicitly parallel runtime instance. Create regions and
@@ -222,10 +230,15 @@ type treeState struct {
 	init   map[field.ID]*data.Store
 	stream *core.Stream
 	exec   *sched.Executor
-	seq    *core.Seq       // non-nil in Validate mode
-	tracer *trace.Tracer   // non-nil in Tracing mode
-	auto   *autotrace.Auto // non-nil in AutoTrace mode
-	frozen bool
+	seq    *core.Seq        // non-nil in Validate mode
+	tracer *trace.Tracer    // non-nil in Tracing mode
+	auto   *autotrace.Auto  // non-nil in AutoTrace mode
+	prov   *core.Provenance // non-nil in Provenance mode
+	// labels caches precedence labels for MustPrecede; rebuilt when the
+	// stream has grown past labelsAt.
+	labels   *graph.Labels
+	labelsAt int
+	frozen   bool
 }
 
 // CreateRegion creates a top-level region over space with the given
@@ -526,6 +539,14 @@ func (rt *Runtime) Launch(spec TaskSpec) Future {
 	t := ts.stream.Launch(spec.Name, reqs...)
 	for _, f := range spec.After {
 		t.FutureDeps = append(t.FutureDeps, f.taskID)
+		if ts.prov != nil {
+			// Future edges are ordering-only: no analyzer, no region pair.
+			// Captured before Submit, so an analyzer later re-finding the
+			// same producer through region data does not displace this.
+			ts.prov.AddReason(core.EdgeReason{
+				Src: f.taskID, Dst: t.ID, Kind: core.ReasonFuture, Set: -1, Trace: -1,
+			})
+		}
 	}
 
 	k := &kernelAdapter{spec: spec}
@@ -586,7 +607,10 @@ func (rt *Runtime) freeze(ts *treeState) {
 		return
 	}
 	ts.frozen = true
-	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans, Recorder: rt.cfg.Recorder, Faults: rt.cfg.Faults}
+	if rt.cfg.Provenance {
+		ts.prov = core.NewProvenance()
+	}
+	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans, Recorder: rt.cfg.Recorder, Faults: rt.cfg.Faults, Prov: ts.prov}
 	newAn, _ := algo.Lookup(rt.cfg.Algorithm)
 	an := newAn(ts.tree, opts)
 	if rt.cfg.Metrics != nil {
@@ -609,7 +633,7 @@ func (rt *Runtime) freeze(ts *treeState) {
 		an = ts.auto
 	}
 	ts.stream = core.NewStream(ts.tree)
-	ts.exec = sched.NewExecutorFault(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics, rt.cfg.Recorder, rt.cfg.Faults)
+	ts.exec = sched.NewExecutorProv(ts.tree, an, ts.init, rt.cfg.Workers, rt.cfg.Metrics, rt.cfg.Recorder, rt.cfg.Faults, ts.prov)
 	if rt.cfg.Validate {
 		ts.seq = core.NewSeq(ts.tree, ts.init)
 	}
