@@ -162,8 +162,8 @@ func srcName(ex *visibility.TaskExplain, src int) string {
 func formatEdge(e visibility.EdgeExplain) string {
 	switch e.Kind {
 	case "region":
-		return fmt.Sprintf("region edge [%s]: req %d (%s) interferes with req %d (%s) on field %s over %s (set %d)",
-			e.Analyzer, e.SrcReq, e.SrcPriv, e.DstReq, e.DstPriv, e.Field, e.Overlap, e.Set)
+		return fmt.Sprintf("region edge [%s]: req %d (%s) interferes with req %d (%s) on field %s over %s",
+			e.Analyzer, e.SrcReq, e.SrcPriv, e.DstReq, e.DstPriv, e.Field, e.Overlap)
 	case "future":
 		return "future edge: explicit ordering on a task future"
 	case "replay":

@@ -26,7 +26,6 @@ type EdgeExplain struct {
 	// Region-interference detail (kind "region").
 	SrcReq  int    `json:"srcReq"`
 	DstReq  int    `json:"dstReq"`
-	Set     int64  `json:"set"`
 	Field   string `json:"field,omitempty"`
 	SrcPriv string `json:"srcPriv,omitempty"`
 	DstPriv string `json:"dstPriv,omitempty"`
@@ -62,9 +61,10 @@ type CritContributor struct {
 }
 
 // CritSummary is the weighted critical-path profile of a discovered
-// dependence graph. All times are virtual units (analyzer operations +
-// points touched), so the summary is byte-identical across runs of the
-// same workload.
+// dependence graph. All times are virtual units (analysis volume +
+// points touched), derived from the workload rather than measured from
+// analyzer internals, so the summary is byte-identical across runs of
+// the same workload — even under different analyzers or shard counts.
 type CritSummary struct {
 	Tasks       int               `json:"tasks"`
 	Edges       int               `json:"edges"`
@@ -105,7 +105,7 @@ func (ts *treeState) explainEdge(r core.EdgeReason) EdgeExplain {
 		Src: r.Src, SrcName: ts.taskName(r.Src),
 		Dst: r.Dst, DstName: ts.taskName(r.Dst),
 		Kind: r.Kind.String(), Analyzer: r.Analyzer,
-		SrcReq: r.SrcReq, DstReq: r.DstReq, Set: r.Set, Trace: r.Trace,
+		SrcReq: r.SrcReq, DstReq: r.DstReq, Trace: r.Trace,
 	}
 	if r.Kind == core.ReasonRegion {
 		e.Field = ts.fieldName(r.Field)

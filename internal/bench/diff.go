@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"text/tabwriter"
 )
 
@@ -114,25 +116,73 @@ func Diff(prev, cur *Record, th Thresholds) *DiffReport {
 	return rep
 }
 
-// AggregateDelta returns the launches/sec aggregate (total launches
-// over total wall time) across the compared cells only, for the
-// baseline and candidate sides. Restricting to common cells keeps the
-// number meaningful when one record covers a wider sweep.
-func (rep *DiffReport) AggregateDelta() (prev, cur float64) {
-	var prevL, prevW, curL, curW float64
+// Variant returns the measurement-variant suffix of a system name — the
+// part after the algorithm and DCR tokens: "" for "raycast_dcr", "auto"
+// for "raycast_dcr_auto", "shard4" for "paint_nodcr_shard4",
+// "auto_shard4" for a composed cell.
+func Variant(system string) string {
+	for _, tok := range []string{"_nodcr", "_dcr"} {
+		if i := strings.Index(system, tok); i >= 0 {
+			return strings.TrimPrefix(system[i+len(tok):], "_")
+		}
+	}
+	return ""
+}
+
+// VariantAggregate is the launches/sec aggregate (total launches over
+// total wall time) for one measurement variant across the compared
+// cells, for the baseline and candidate sides.
+type VariantAggregate struct {
+	Variant   string // "" is the plain cells; "trace", "auto", "shard4", ...
+	Cells     int
+	Prev, Cur float64
+}
+
+// AggregateDeltas returns one launches/sec aggregate per measurement
+// variant across the compared cells only. Restricting to common cells
+// keeps the numbers meaningful when one record covers a wider sweep;
+// aggregating per variant keeps them meaningful when a record mixes
+// plain cells with "_auto"/"_shard<N>" cells, whose deliberately
+// different regimes (longer replay windows, fan-out overhead) would
+// otherwise let sweep composition masquerade as drift. Variants are
+// returned in sorted order with the plain variant first.
+func (rep *DiffReport) AggregateDeltas() []VariantAggregate {
+	type sums struct {
+		prevL, prevW, curL, curW float64
+		n                        int
+	}
+	byVariant := make(map[string]*sums)
 	for _, d := range rep.Deltas {
-		prevL += float64(d.Old.Launches)
-		prevW += d.Old.WallSeconds
-		curL += float64(d.New.Launches)
-		curW += d.New.WallSeconds
+		v := Variant(d.New.System)
+		s := byVariant[v]
+		if s == nil {
+			s = &sums{}
+			byVariant[v] = s
+		}
+		s.prevL += float64(d.Old.Launches)
+		s.prevW += d.Old.WallSeconds
+		s.curL += float64(d.New.Launches)
+		s.curW += d.New.WallSeconds
+		s.n++
 	}
-	if prevW > 0 {
-		prev = prevL / prevW
+	variants := make([]string, 0, len(byVariant))
+	for v := range byVariant {
+		variants = append(variants, v)
 	}
-	if curW > 0 {
-		cur = curL / curW
+	sort.Strings(variants) // "" sorts first, so the plain cells lead
+	out := make([]VariantAggregate, 0, len(variants))
+	for _, v := range variants {
+		s := byVariant[v]
+		agg := VariantAggregate{Variant: v, Cells: s.n}
+		if s.prevW > 0 {
+			agg.Prev = s.prevL / s.prevW
+		}
+		if s.curW > 0 {
+			agg.Cur = s.curL / s.curW
+		}
+		out = append(out, agg)
 	}
-	return prev, cur
+	return out
 }
 
 // WriteTable renders the per-cell delta table plus missing-cell notes
@@ -166,9 +216,14 @@ func (rep *DiffReport) WriteTable(w io.Writer) error {
 	for _, key := range rep.MissingInOld {
 		p.printf("no baseline for: %s\n", key)
 	}
-	aggPrev, aggCur := rep.AggregateDelta()
-	p.printf("aggregate launches/sec: %.0f -> %.0f (%+.1f%%) over %d common cell(s)\n",
-		aggPrev, aggCur, pctDelta(aggCur, aggPrev), len(rep.Deltas))
+	for _, agg := range rep.AggregateDeltas() {
+		label := agg.Variant
+		if label == "" {
+			label = "plain"
+		}
+		p.printf("aggregate launches/sec (%s): %.0f -> %.0f (%+.1f%%) over %d common cell(s)\n",
+			label, agg.Prev, agg.Cur, pctDelta(agg.Cur, agg.Prev), agg.Cells)
+	}
 	for _, d := range rep.Deltas {
 		for _, b := range d.Breaches {
 			p.printf("REGRESSION %s: %s\n", d.Key, b)

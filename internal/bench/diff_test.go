@@ -96,6 +96,57 @@ func TestDiffMissingCells(t *testing.T) {
 	}
 }
 
+func TestVariant(t *testing.T) {
+	cases := map[string]string{
+		"raycast_dcr":             "",
+		"raycast_nodcr":           "",
+		"raycast_dcr_trace":       "trace",
+		"warnock_nodcr_auto":      "auto",
+		"paint_nodcr_shard4":      "shard4",
+		"raycast_dcr_auto_shard4": "auto_shard4",
+		"unrecognized":            "",
+	}
+	for system, want := range cases {
+		if got := Variant(system); got != want {
+			t.Errorf("Variant(%q) = %q, want %q", system, got, want)
+		}
+	}
+}
+
+// TestAggregatePerVariant pins the aggregate fix: a record mixing plain
+// cells with variant cells (here "_shard4", which measures a deliberately
+// different regime) must aggregate each variant separately — previously
+// one mixed total let a variant's cells drag the plain number, so a
+// changed sweep composition could masquerade as drift.
+func TestAggregatePerVariant(t *testing.T) {
+	mk := func() *Record {
+		return &Record{Meta: Meta{Schema: Schema}, Cells: []Cell{
+			{App: "circuit", System: "raycast_dcr", Nodes: 4, Launches: 1000, WallSeconds: 0.1},
+			{App: "circuit", System: "raycast_dcr_shard4", Nodes: 4, Launches: 8000, WallSeconds: 0.1},
+		}}
+	}
+	rep := Diff(mk(), mk(), Thresholds{})
+	aggs := rep.AggregateDeltas()
+	if len(aggs) != 2 {
+		t.Fatalf("got %d aggregates, want one per variant: %+v", len(aggs), aggs)
+	}
+	if aggs[0].Variant != "" || aggs[0].Cells != 1 || aggs[0].Prev != 10000 || aggs[0].Cur != 10000 {
+		t.Errorf("plain aggregate = %+v, want 10000/s over 1 cell", aggs[0])
+	}
+	if aggs[1].Variant != "shard4" || aggs[1].Cells != 1 || aggs[1].Prev != 80000 || aggs[1].Cur != 80000 {
+		t.Errorf("shard4 aggregate = %+v, want 80000/s over 1 cell", aggs[1])
+	}
+	var buf strings.Builder
+	if err := rep.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "aggregate launches/sec (plain): 10000 -> 10000") ||
+		!strings.Contains(out, "aggregate launches/sec (shard4): 80000 -> 80000") {
+		t.Errorf("table lacks per-variant aggregate lines:\n%s", out)
+	}
+}
+
 func TestAggregateLaunchesPerSec(t *testing.T) {
 	r := sampleRecord()
 	// 1500 launches over 0.075 s = 20000/s.

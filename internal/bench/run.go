@@ -53,6 +53,11 @@ type Options struct {
 	// time a longer window to keep the single recording iteration from
 	// dominating the measurement.
 	AutoIters int
+	// Shards additionally measures every configuration with the shard
+	// layer at each listed shard count, as "<system>_shard<N>" cells. A
+	// value of 1 measures the shard layer's single-atom overhead against
+	// the direct baseline; values above 1 measure parallel analysis.
+	Shards []int
 }
 
 // Collect measures every cell of the configured sweep and returns the
@@ -101,7 +106,7 @@ func Collect(opts Options) (*Record, error) {
 		}
 		for _, cfg := range harness.PaperConfigs() {
 			for _, nodes := range harness.NodeSweep(opts.MaxNodes) {
-				cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, false, nodes, opts.Iters, reps, spanCap, opts.ProfileDir)
+				cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, false, 0, nodes, opts.Iters, reps, spanCap, opts.ProfileDir)
 				if err != nil {
 					return nil, err
 				}
@@ -111,7 +116,17 @@ func Collect(opts Options) (*Record, error) {
 					if autoIters <= 0 {
 						autoIters = 30
 					}
-					cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, true, nodes, autoIters, reps, spanCap, opts.ProfileDir)
+					cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, true, 0, nodes, autoIters, reps, spanCap, opts.ProfileDir)
+					if err != nil {
+						return nil, err
+					}
+					rec.Cells = append(rec.Cells, cell)
+				}
+				for _, shards := range opts.Shards {
+					if shards < 1 {
+						return nil, fmt.Errorf("bench: invalid shard count %d", shards)
+					}
+					cell, err := measureCell(builder, name, cfg.Algorithm, cfg.DCR, false, shards, nodes, opts.Iters, reps, spanCap, opts.ProfileDir)
 					if err != nil {
 						return nil, err
 					}
@@ -129,11 +144,12 @@ func Collect(opts Options) (*Record, error) {
 // allocations per launch, lowest latency quantiles. The virtual-time
 // metrics are deterministic and identical across reps, so they are taken
 // from the last run.
-func measureCell(builder apps.Builder, app, algorithm string, dcr, auto bool, nodes, iters, reps, spanCap int, profileDir string) (Cell, error) {
+func measureCell(builder apps.Builder, app, algorithm string, dcr, auto bool, shards, nodes, iters, reps, spanCap int, profileDir string) (Cell, error) {
 	system := harness.SystemName(algorithm, dcr)
 	if auto {
 		system = harness.AutoSystemName(algorithm, dcr)
 	}
+	system = harness.ShardSystemName(system, shards)
 	cell := Cell{App: app, System: system, Nodes: nodes}
 
 	var cpuFile *os.File
@@ -159,7 +175,7 @@ func measureCell(builder apps.Builder, app, algorithm string, dcr, auto bool, no
 		start := time.Now()
 		r, err := harness.Run(harness.Config{
 			App: builder, AppName: app,
-			Algorithm: algorithm, DCR: dcr, AutoTrace: auto,
+			Algorithm: algorithm, DCR: dcr, AutoTrace: auto, Shards: shards,
 			Nodes: nodes, MeasureIters: iters,
 			Spans: spans,
 		})

@@ -39,11 +39,17 @@ func (k ReasonKind) String() string {
 }
 
 // EdgeReason is the compact provenance of one dependence edge Src → Dst:
-// which analyzer emitted it, in which equivalence set, and which
-// requirement pair interfered (fields, privileges, overlapping points) —
-// or, for future and trace-replay edges, the ordering construct that
-// produced them. Region names are not stored: requirement indices resolve
-// against the task stream at explain time.
+// which analyzer emitted it and which requirement pair interfered (fields,
+// privileges, overlapping points) — or, for future and trace-replay edges,
+// the ordering construct that produced them. Region names are not stored:
+// requirement indices resolve against the task stream at explain time.
+//
+// Region reasons are canonical: AddReason keeps the lexicographically
+// smallest interfering (DstReq, SrcReq) pair and widens Overlap across
+// every capture of that pair, so the stored reason is a property of the
+// workload's interference pattern alone — independent of equivalence-set
+// identities, scan order, and how the analysis was partitioned across
+// shards.
 type EdgeReason struct {
 	Src int // producing (earlier) task ID
 	Dst int // consuming (later) task ID
@@ -54,7 +60,6 @@ type EdgeReason struct {
 	// Region-interference provenance (Kind == ReasonRegion).
 	SrcReq  int                 // producer's requirement index
 	DstReq  int                 // consumer's requirement index
-	Set     int64               // equivalence-set / view token; -1 when inapplicable
 	Field   field.ID            // interfering field
 	SrcPriv privilege.Privilege // producer's privilege (the history entry's)
 	DstPriv privilege.Privilege // consumer's privilege (the requirement's)
@@ -72,19 +77,21 @@ func (r EdgeReason) String() string {
 	case ReasonReplay:
 		return fmt.Sprintf("%d→%d replay(trace %d, %s)", r.Src, r.Dst, r.Trace, r.Analyzer)
 	case ReasonRegion:
-		return fmt.Sprintf("%d.%d %v ⟂ %d.%d %v field %d set %d (%s)",
-			r.Src, r.SrcReq, r.SrcPriv, r.Dst, r.DstReq, r.DstPriv, r.Field, r.Set, r.Analyzer)
+		return fmt.Sprintf("%d.%d %v ⟂ %d.%d %v field %d (%s)",
+			r.Src, r.SrcReq, r.SrcPriv, r.Dst, r.DstReq, r.DstPriv, r.Field, r.Analyzer)
 	}
 	return fmt.Sprintf("%d→%d none", r.Src, r.Dst)
 }
 
 // TaskCost is one launch's deterministic cost sample, in the virtual units
-// of the distributed cost model: AnalysisOps is the analyzer operation
-// count the launch charged (its analysis duration before the cost model
-// scales ops to seconds), ExecVirt the points its requirements touch (the
-// virtual execution time of a unit-cost-per-point kernel). Both replay
-// identically run to run, so critical paths weighted by them are
-// byte-reproducible — unlike wall-clock span durations.
+// of the distributed cost model: AnalysisOps is the launch's analysis
+// volume (requirements analyzed plus dependence edges discovered — a
+// property of the task stream and its graph, not of analyzer internals),
+// ExecVirt the points its requirements touch (the virtual execution time
+// of a unit-cost-per-point kernel). Both replay identically run to run
+// AND across analyzer/sharding configurations, so critical paths weighted
+// by them are byte-reproducible — unlike wall-clock span durations or
+// measured operation counters.
 type TaskCost struct {
 	AnalysisOps int64
 	ExecVirt    int64
@@ -106,17 +113,42 @@ func NewProvenance() *Provenance {
 	return &Provenance{reasons: make(map[int][]EdgeReason)}
 }
 
-// AddReason records r unless an edge Src → Dst already has a reason: the
-// first capture wins, so an analyzer re-finding the same dependence in
-// another equivalence set (or a post-invalidation re-analysis of a
-// replayed launch) never overwrites the provenance the runtime acted on.
-// Emission order is deterministic, so the surviving reason is too.
+// AddReason records r, keeping at most one reason per edge Src → Dst.
+//
+// When both the stored and the incoming reason are region captures, the
+// canonical one survives: the lexicographically smallest (DstReq, SrcReq)
+// interfering pair, with Overlap widened (bounding-box union) across every
+// capture of that pair. The set of attempted captures — which requirement
+// pairs interfere at some live point, and the points that make them
+// interfere — is a per-point property of the workload, so the canonical
+// reason is identical no matter which equivalence sets reported it, in
+// what order, or how the analysis was sharded. Bounding-box union is
+// commutative and associative, so capture order never shows through.
+//
+// Across kinds the first capture wins: a future edge recorded at launch,
+// or a replay edge recorded when a trace instantiated the dependence, is
+// the provenance the runtime acted on — a later region re-discovery (e.g.
+// a post-invalidation re-analysis) never overwrites it.
 func (p *Provenance) AddReason(r EdgeReason) {
+	if r.Kind == ReasonRegion {
+		r.Trace = -1
+	}
 	rs := p.reasons[r.Dst]
 	for i := range rs {
-		if rs[i].Src == r.Src {
-			return
+		if rs[i].Src != r.Src {
+			continue
 		}
+		old := &rs[i]
+		if old.Kind != ReasonRegion || r.Kind != ReasonRegion {
+			return // first capture wins across kinds
+		}
+		switch {
+		case r.DstReq < old.DstReq || (r.DstReq == old.DstReq && r.SrcReq < old.SrcReq):
+			*old = r
+		case r.DstReq == old.DstReq && r.SrcReq == old.SrcReq:
+			old.Overlap = old.Overlap.Union(r.Overlap)
+		}
+		return
 	}
 	p.reasons[r.Dst] = append(rs, r)
 }
@@ -128,6 +160,17 @@ func (p *Provenance) Reasons(dst int) []EdgeReason {
 	out := append([]EdgeReason(nil), rs...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Src < out[j].Src })
 	return out
+}
+
+// TakeReasons removes and returns dst's recorded reasons in insertion
+// order. The shard merge stage drains each atom's staging provenance with
+// this and replays the reasons into the real store; because region merges
+// are order-independent and cross-kind conflicts are resolved before
+// staging, replay order never shows through.
+func (p *Provenance) TakeReasons(dst int) []EdgeReason {
+	rs := p.reasons[dst]
+	delete(p.reasons, dst)
+	return rs
 }
 
 // AddCost records task's cost sample, growing the table as needed.

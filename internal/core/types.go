@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"visibility/internal/fault"
 	"visibility/internal/field"
@@ -112,6 +113,17 @@ type Analyzer interface {
 	Name() string
 	Analyze(t *Task) *Result
 	Stats() *Stats
+}
+
+// BaseName strips wrapper suffixes from an analyzer name
+// ("raycast+shard4+autotrace" → "raycast"). Wrapping analyzers compose
+// names with '+'; provenance and other cross-configuration-comparable
+// outputs want the algorithm's name, not the harness around it.
+func BaseName(name string) string {
+	if i := strings.IndexByte(name, '+'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // Stats counts the elementary operations an analyzer performs; the

@@ -82,6 +82,15 @@ const (
 	// launch is re-analyzed through the wrapped analyzer. Recovery must be
 	// byte-identical to a run that never traced. Arg: task ID.
 	TraceInvalidate Site = "trace.invalidate"
+	// ShardStall delays one shard worker's analysis of a launch by a
+	// deterministic pseudo-random duration, perturbing the completion
+	// order the merge barrier observes. Timing-only: the merged result
+	// must be byte-identical to an unstalled run. Arg: task ID.
+	ShardStall Site = "shard.stall"
+	// ShardMigrate reassigns one analysis atom to a different shard
+	// goroutine mid-stream. Scheduling-only: which goroutine runs an
+	// atom's analyzer must never change its output. Arg: task ID.
+	ShardMigrate Site = "shard.migrate"
 )
 
 // catalog fixes the Site -> index mapping journaled in recorder events.
@@ -91,6 +100,7 @@ var catalog = []Site{
 	WorkerPanic, AdmitBurst,
 	CkptCorrupt, RestoreCorrupt,
 	TraceInvalidate,
+	ShardStall, ShardMigrate,
 }
 
 var catalogIndex = func() map[Site]int {

@@ -17,6 +17,7 @@ func TestCatalogStable(t *testing.T) {
 		WorkerPanic, AdmitBurst,
 		CkptCorrupt, RestoreCorrupt,
 		TraceInvalidate,
+		ShardStall, ShardMigrate,
 	}
 	got := Sites()
 	if len(got) != len(want) {

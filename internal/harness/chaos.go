@@ -18,6 +18,7 @@ import (
 	"visibility/internal/obs/recorder"
 	"visibility/internal/privilege"
 	"visibility/internal/region"
+	"visibility/internal/shard"
 )
 
 // ChaosConfig selects one chaos run: a workload seed, a fault plan, and
@@ -47,8 +48,15 @@ type ChaosReport struct {
 	Plan      string
 	Tasks     int
 	Analyzers []string
-	// Fires counts injected faults per site across the whole run.
+	// Fires counts injected faults per site on the session injector — the
+	// plan's schedule exactly as written.
 	Fires map[fault.Site]int64
+	// AtomFires counts injected faults per site on the sharded legs'
+	// private per-atom injectors, whose streams are deterministically
+	// decorrelated from the session's (internal/shard). Their journal
+	// entries appear in Dump alongside the session's, so Fires+AtomFires
+	// is what reconciles against the dump's injection events.
+	AtomFires map[fault.Site]int64
 	// Events is the number of flight-recorder events journaled.
 	Events int
 	// Dump is the recorder window in VISFREC1 binary form, journaled on a
@@ -73,6 +81,8 @@ func DefaultChaosPlan(seed int64) string {
 		fault.EqMigrate:       {Prob: 0.05},
 		fault.CacheBypass:     {Prob: 0.25},
 		fault.TraceInvalidate: {Prob: 0.10},
+		fault.ShardStall:      {Prob: 0.10},
+		fault.ShardMigrate:    {Prob: 0.05},
 		fault.MsgDrop:         {Prob: 0.02},
 		fault.MsgDelay:        {Prob: 0.05},
 		fault.MsgDup:          {Prob: 0.05},
@@ -110,8 +120,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	stream := chaosStream(rng, tree, cfg.Tasks)
 
 	report := &ChaosReport{Seed: cfg.Seed, Plan: cfg.Plan, Tasks: len(stream.Tasks), Analyzers: algo.Names()}
+	// The sharded legs' atoms fire faults on private injectors whose
+	// journal entries reach rec via tape replay; their counts are gathered
+	// here so Fires+AtomFires reconciles with the dump's injection events.
+	atomFires := make(map[fault.Site]int64)
 	finish := func() {
 		report.Fires = inj.Counts()
+		report.AtomFires = atomFires
 		report.Events = rec.Len()
 		var buf bytes.Buffer
 		_ = rec.Dump(&buf) // bytes.Buffer writes cannot fail
@@ -124,7 +139,31 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		newAn, _ := algo.Lookup(name)
 		factories = append(factories, core.Factory{Name: name, New: func(tr *region.Tree) core.Analyzer { return newAn(tr, opts) }})
 	}
-	if err := core.Verify(stream, chaosInit(tree), core.HashKernel{}, factories...); err != nil {
+	// Sharded legs: the same stream through the shard layer at two shard
+	// counts, under the same injector. The outer shard.stall/shard.migrate
+	// sites fire here, and every inner analyzer site fires per-atom on a
+	// decorrelated stream; the crosscheck still demands byte-equality with
+	// the sequential ground truth.
+	newRaySharded, _ := algo.Lookup("raycast")
+	var openShards []*shard.Analyzer
+	for _, shards := range []int{2, 5} {
+		shards := shards
+		name := fmt.Sprintf("raycast+shard%d", shards)
+		factories = append(factories, core.Factory{Name: name, New: func(tr *region.Tree) core.Analyzer {
+			sh := shard.New(tr, opts, shards, shard.Factory(newRaySharded))
+			openShards = append(openShards, sh)
+			return sh
+		}})
+		report.Analyzers = append(report.Analyzers, name)
+	}
+	err = core.Verify(stream, chaosInit(tree), core.HashKernel{}, factories...)
+	for _, sh := range openShards {
+		for site, n := range sh.AtomFaultCounts() {
+			atomFires[site] += n
+		}
+		sh.Close()
+	}
+	if err != nil {
 		finish()
 		return report, fmt.Errorf("chaos seed %d plan %q: %w", cfg.Seed, cfg.Plan, err)
 	}
@@ -172,6 +211,23 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	finish()
 	return report, nil
 }
+
+// ChaosTree exposes the chaos tree generator: a random region tree over
+// a 1-D or 2-D root with a mix of disjoint and aliased partitions,
+// possibly nested. Property suites (e.g. the shard-equivalence test)
+// reuse it so their workload family matches the chaos harness's.
+func ChaosTree(rng *rand.Rand) *region.Tree { return chaosTree(rng) }
+
+// ChaosStream exposes the chaos stream generator: n random launches over
+// random regions of tree with random privileges, honoring the §4
+// same-task disjointness restriction.
+func ChaosStream(rng *rand.Rand, tree *region.Tree, n int) *core.Stream {
+	return chaosStream(rng, tree, n)
+}
+
+// ChaosInit exposes the chaos initial contents: a deterministic non-zero
+// per-point value for every field.
+func ChaosInit(tree *region.Tree) map[field.ID]*data.Store { return chaosInit(tree) }
 
 // chaosInit fills every field with a deterministic per-point value, so
 // coherence errors cannot hide behind zero contents.

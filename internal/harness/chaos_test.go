@@ -62,8 +62,14 @@ func TestChaosReplayDeterministic(t *testing.T) {
 					}
 				}
 			}
+			// Session fires journal directly; the sharded legs' per-atom
+			// fires journal via tape replay. Together they must account
+			// for every injection event in the dump.
 			var fires int64
 			for _, n := range a.Fires {
+				fires += n
+			}
+			for _, n := range a.AtomFires {
 				fires += n
 			}
 			if injected != fires {
@@ -145,6 +151,33 @@ func TestChaosAutotraceInvalidationRecovery(t *testing.T) {
 	}
 	if injected != fires || invalidated != fires {
 		t.Errorf("journal has %d fault_inject + %d trace_invalidate for %d fires", injected, invalidated, fires)
+	}
+}
+
+// TestChaosShardFaults pins the shard fault sites: a plan arming only
+// shard.stall and shard.migrate fires both on the sharded legs, the runs
+// still match the sequential ground truth (verified inside RunChaos),
+// and replay from the plan string stays byte-identical — worker stalls
+// and atom migrations are timing/placement-only and must never show
+// through in the journal or the analysis.
+func TestChaosShardFaults(t *testing.T) {
+	cfg := ChaosConfig{Seed: 11, Plan: "seed=4;shard.stall=every=3;shard.migrate=every=4"}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatalf("sharded run diverged from ground truth: %v", err)
+	}
+	if a.Fires[fault.ShardStall] == 0 {
+		t.Fatal("shard.stall never fired")
+	}
+	if a.Fires[fault.ShardMigrate] == 0 {
+		t.Fatal("shard.migrate never fired")
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Dump, b.Dump) {
+		t.Fatalf("replay dump differs under shard faults (%d vs %d bytes)", len(a.Dump), len(b.Dump))
 	}
 }
 

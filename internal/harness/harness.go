@@ -26,6 +26,7 @@ import (
 	"visibility/internal/obs"
 	"visibility/internal/obs/recorder"
 	"visibility/internal/region"
+	"visibility/internal/shard"
 	"visibility/internal/trace"
 )
 
@@ -52,6 +53,14 @@ type Config struct {
 	// to see a full repetition, one to record), so the measured regime is
 	// steady-state replay. Mutually exclusive with Tracing.
 	AutoTrace bool
+	// Shards, when positive, routes each node's analysis through the shard
+	// layer with this many parallel shards (internal/shard): the region
+	// tree is split into coordinate bands, analyzed concurrently, and the
+	// per-band results are merged back into the sequential edge stream.
+	// The cell's system name gains a "_shard<N>" suffix. Shards composes
+	// with Tracing and AutoTrace (the trace layers wrap outside the shard
+	// fan-out, so replayed launches skip it entirely).
+	Shards int
 	// Mapper overrides task placement (default: owner-computes, the
 	// paper's mapping). Locality-oblivious mappers quantify how much the
 	// implicit-communication machinery has to move.
@@ -118,6 +127,17 @@ func AutoSystemName(algorithm string, dcr bool) string {
 	return SystemName(algorithm, dcr) + "_auto"
 }
 
+// ShardSystemName appends the sharded-analysis variant suffix to a
+// configuration name: "_shard<N>". It composes after the trace suffixes,
+// so a sharded autotraced cell reads "raycast_dcr_auto_shard4"; shards
+// of zero returns the name unchanged.
+func ShardSystemName(system string, shards int) string {
+	if shards <= 0 {
+		return system
+	}
+	return fmt.Sprintf("%s_shard%d", system, shards)
+}
+
 // Run executes one experiment cell.
 func Run(cfg Config) (*Result, error) {
 	newAn, err := algo.Lookup(cfg.Algorithm)
@@ -134,6 +154,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Tracing && cfg.AutoTrace {
 		return nil, fmt.Errorf("harness: Tracing and AutoTrace are mutually exclusive")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("harness: invalid shard count %d", cfg.Shards)
+	}
 
 	inst := cfg.App(cfg.Nodes)
 	// One registry per cell: the machine, the driver, the analyzer, and
@@ -149,16 +172,33 @@ func Run(cfg Config) (*Result, error) {
 
 	var tracer *trace.Tracer
 	var auto *autotrace.Auto
-	buildAnalyzer := dist.NewAnalyzerFunc(newAn)
+	// The shard layer sits innermost (fan-out under the trace layers, so a
+	// replayed launch skips it entirely); its worker goroutines are
+	// released once the cell's measurements are done.
+	newInner := dist.NewAnalyzerFunc(newAn)
+	var openShards []*shard.Analyzer
+	if cfg.Shards > 0 {
+		newInner = func(tree *region.Tree, opts core.Options) core.Analyzer {
+			sh := shard.New(tree, opts, cfg.Shards, shard.Factory(newAn))
+			openShards = append(openShards, sh)
+			return sh
+		}
+	}
+	defer func() {
+		for _, sh := range openShards {
+			sh.Close()
+		}
+	}()
+	buildAnalyzer := newInner
 	if cfg.Tracing {
 		buildAnalyzer = func(tree *region.Tree, opts core.Options) core.Analyzer {
-			tracer = trace.New(newAn(tree, opts), opts)
+			tracer = trace.New(newInner(tree, opts), opts)
 			return tracer
 		}
 	}
 	if cfg.AutoTrace {
 		buildAnalyzer = func(tree *region.Tree, opts core.Options) core.Analyzer {
-			auto = autotrace.New(newAn(tree, opts), opts)
+			auto = autotrace.New(newInner(tree, opts), opts)
 			return auto
 		}
 	}
@@ -240,6 +280,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.AutoTrace {
 		system = AutoSystemName(cfg.Algorithm, cfg.DCR)
 	}
+	system = ShardSystemName(system, cfg.Shards)
 	return &Result{
 		Reps:              1,
 		System:            system,

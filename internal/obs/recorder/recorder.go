@@ -35,25 +35,25 @@ type Kind uint8
 // Event kinds. New kinds append at the end: the binary dump format
 // stores the raw byte, so renumbering breaks old dumps.
 const (
-	KindNone         Kind = iota
-	KindTaskLaunch        // A=task ID, B=requirement count
-	KindEqSplit           // A=fragments created, B=history entries copied
-	KindEqCoalesce        // A=equivalence sets pruned by a dominating write
-	KindCacheHit          // physical-instance cache hit
-	KindCacheMiss         // physical-instance cache miss
-	KindAdmitReject       // A=session seq (0=session-less), B=1 global cap, 2 session queue, 3 session cap
-	KindJobStart          // A=session seq
-	KindJobDone           // A=session seq
-	KindWorkerFail        // A=session seq; the session latched a failure
-	KindSessionOpen       // A=session seq
-	KindSessionClose      // A=session seq
-	KindFaultInject       // A=fault site catalog index (fault.SiteAt), B=site-specific argument
-	KindTraceCommit       // A=trace id, B=period (launches per instance)
-	KindTraceReplay       // A=trace id, B=period; one replayed instance completed
-	KindTraceInvalidate   // A=trace id, B=position in the instance at abort
-	KindReasonCapture     // A=task ID, B=dependence reasons captured for it
-	KindExplainQuery      // A=queried task ID, B=edges explained
-	KindCritPath          // A=critical-path length (tasks), B=makespan (virtual units, rounded)
+	KindNone            Kind = iota
+	KindTaskLaunch           // A=task ID, B=requirement count
+	KindEqSplit              // A=fragments created, B=history entries copied
+	KindEqCoalesce           // A=equivalence sets pruned by a dominating write
+	KindCacheHit             // physical-instance cache hit
+	KindCacheMiss            // physical-instance cache miss
+	KindAdmitReject          // A=session seq (0=session-less), B=1 global cap, 2 session queue, 3 session cap
+	KindJobStart             // A=session seq
+	KindJobDone              // A=session seq
+	KindWorkerFail           // A=session seq; the session latched a failure
+	KindSessionOpen          // A=session seq
+	KindSessionClose         // A=session seq
+	KindFaultInject          // A=fault site catalog index (fault.SiteAt), B=site-specific argument
+	KindTraceCommit          // A=trace id, B=period (launches per instance)
+	KindTraceReplay          // A=trace id, B=period; one replayed instance completed
+	KindTraceInvalidate      // A=trace id, B=position in the instance at abort
+	KindReasonCapture        // A=task ID, B=dependence reasons captured for it
+	KindExplainQuery         // A=queried task ID, B=edges explained
+	KindCritPath             // A=critical-path length (tasks), B=makespan (virtual units, rounded)
 )
 
 var kindNames = [...]string{
@@ -84,8 +84,9 @@ type Event struct {
 // Recorder is the bounded drop-oldest event ring. A nil *Recorder is
 // valid and records nothing. Safe for concurrent use.
 type Recorder struct {
-	enabled atomic.Bool
-	now     func() int64 // immutable after construction
+	enabled   atomic.Bool
+	now       func() int64 // immutable after construction
+	unbounded bool         // immutable after construction; Log grows instead of wrapping
 
 	mu      sync.Mutex
 	ring    []Event // guarded by mu
@@ -112,6 +113,55 @@ func NewClock(capacity int, now func() int64) *Recorder {
 	return r
 }
 
+// NewTape creates an enabled, unbounded staging recorder: every event is
+// kept (nothing is ever dropped) and all timestamps are zero. A tape is a
+// holding pen for event sequences produced off the journaling goroutine —
+// a shard worker journals into its own tape, and the merge stage replays
+// the events into the real recorder (which stamps its own clock) in a
+// deterministic order. Empty it with Take (copying) or Drain (in place).
+func NewTape() *Recorder {
+	r := &Recorder{now: func() int64 { return 0 }, unbounded: true}
+	r.enabled.Store(true)
+	return r
+}
+
+// Take returns the journaled events, oldest first, and resets the window
+// to empty (retaining capacity). Nil-safe.
+func (r *Recorder) Take() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
+	r.ring = r.ring[:0]
+	r.head = 0
+	return out
+}
+
+// Drain invokes fn on each journaled event, oldest first, then resets
+// the window to empty (retaining capacity) — Take without the copy, for
+// per-launch staging tapes drained on every merge. fn runs under the
+// recorder's lock and must not journal back into the same recorder.
+// Nil-safe.
+func (r *Recorder) Drain(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.ring[r.head:] {
+		fn(e)
+	}
+	for _, e := range r.ring[:r.head] {
+		fn(e)
+	}
+	r.ring = r.ring[:0]
+	r.head = 0
+}
+
 // SetEnabled turns journaling on or off.
 func (r *Recorder) SetEnabled(on bool) {
 	if r == nil {
@@ -136,7 +186,7 @@ func (r *Recorder) Log(k Kind, a, b int64) {
 	}
 	e := Event{T: r.now(), Kind: k, A: a, B: b}
 	r.mu.Lock()
-	if len(r.ring) < cap(r.ring) {
+	if r.unbounded || len(r.ring) < cap(r.ring) {
 		r.ring = append(r.ring, e)
 	} else {
 		r.ring[r.head] = e

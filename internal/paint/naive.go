@@ -67,6 +67,11 @@ func (n *Naive) Analyze(t *Task) *core.Result {
 
 	// materialize: replay the full history against each requirement.
 	for ri, req := range t.Reqs {
+		if req.Region.Space.IsEmpty() {
+			// No points: every intersection below would be empty, so skip
+			// the scan (and don't charge the cost model for it).
+			continue
+		}
 		h := n.histFor(req.Field)
 		var plan []core.Visible
 		for _, e := range h {
@@ -82,7 +87,7 @@ func (n *Naive) Analyze(t *Task) *core.Result {
 				if n.opts.Prov != nil && e.Task != core.InitialTask {
 					n.opts.Prov.AddReason(core.EdgeReason{
 						Src: e.Task, Dst: t.ID, Kind: core.ReasonRegion, Analyzer: "paint-naive",
-						SrcReq: e.Req, DstReq: ri, Set: -1, Field: req.Field,
+						SrcReq: e.Req, DstReq: ri, Field: req.Field,
 						SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: inter.Bounds(), Trace: -1,
 					})
 				}

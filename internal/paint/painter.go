@@ -152,6 +152,13 @@ func (pa *Painter) Analyze(t *core.Task) *core.Result {
 	plans := make([][]core.Visible, len(t.Reqs))
 
 	for ri, req := range t.Reqs {
+		if req.Region.Space.IsEmpty() {
+			// No points: nothing can interfere, nothing materializes, and
+			// hoisting for an empty requirement moves nothing. Common under
+			// sharding, where a requirement's restriction to most atoms is
+			// empty, and for clipped boundary halos.
+			continue
+		}
 		fs := pa.fieldFor(req.Field)
 		path := pa.pathOf(req.Region)
 
@@ -176,7 +183,7 @@ func (pa *Painter) Analyze(t *core.Task) *core.Result {
 				continue
 			}
 			before := pa.stats.EntriesScanned
-			deps, plan = pa.scanItems(ns.hist, req, t.ID, ri, -1, deps, plan)
+			deps, plan = pa.scanItems(ns.hist, req, t.ID, ri, deps, plan)
 			pa.opts.Probe.Touch(core.LocalOwner, pa.stats.EntriesScanned-before+1)
 		}
 		scan.End()
@@ -367,10 +374,8 @@ func (pa *Painter) partitionByID(id int) *region.Partition {
 
 // scanItems traverses history items in order, expanding composite views,
 // collecting dependences and plan entries for req. dst and ri identify the
-// launch and requirement being materialized; set is the enclosing
-// composite view's token (-1 at a node's direct history), carried down so
-// provenance records where the interfering entry was found.
-func (pa *Painter) scanItems(items []item, req core.Req, dst, ri int, set int64, deps []int, plan []core.Visible) ([]int, []core.Visible) {
+// launch and requirement being materialized.
+func (pa *Painter) scanItems(items []item, req core.Req, dst, ri int, deps []int, plan []core.Visible) ([]int, []core.Visible) {
 	for _, it := range items {
 		if it.view != nil {
 			pa.stats.OverlapTests++
@@ -381,7 +386,7 @@ func (pa *Painter) scanItems(items []item, req core.Req, dst, ri int, set int64,
 			if !it.view.pts.Overlaps(req.Region.Space) {
 				continue
 			}
-			deps, plan = pa.scanItems(it.view.items, req, dst, ri, it.view.id, deps, plan)
+			deps, plan = pa.scanItems(it.view.items, req, dst, ri, deps, plan)
 			continue
 		}
 		e := it.entry
@@ -397,7 +402,7 @@ func (pa *Painter) scanItems(items []item, req core.Req, dst, ri int, set int64,
 			if pa.opts.Prov != nil && e.Task != core.InitialTask {
 				pa.opts.Prov.AddReason(core.EdgeReason{
 					Src: e.Task, Dst: dst, Kind: core.ReasonRegion, Analyzer: "paint",
-					SrcReq: e.Req, DstReq: ri, Set: set, Field: req.Field,
+					SrcReq: e.Req, DstReq: ri, Field: req.Field,
 					SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: inter.Bounds(), Trace: -1,
 				})
 			}

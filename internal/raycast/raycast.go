@@ -424,6 +424,12 @@ func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 
 	insides := make([][]*eqset, len(t.Reqs))
 	for ri, req := range t.Reqs {
+		if req.Region.Space.IsEmpty() {
+			// No points: nothing can interfere and nothing materializes.
+			// Common under sharding, where a requirement's restriction to
+			// most atoms is empty, and for clipped boundary halos.
+			continue
+		}
 		fs := rc.fieldFor(req.Field, req.Region)
 		rc.maybeMigrate(fs, req.Region)
 		if fired, v := rc.opts.Faults.FireValue(fault.EqMigrate, int64(t.ID)); fired {
@@ -444,7 +450,7 @@ func (rc *RayCast) Analyze(t *core.Task) *core.Result {
 					if rc.opts.Prov != nil && e.Task != core.InitialTask {
 						rc.opts.Prov.AddReason(core.EdgeReason{
 							Src: e.Task, Dst: t.ID, Kind: core.ReasonRegion, Analyzer: "raycast",
-							SrcReq: e.Req, DstReq: ri, Set: int64(s.id), Field: req.Field,
+							SrcReq: e.Req, DstReq: ri, Field: req.Field,
 							SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: s.pts.Bounds(), Trace: -1,
 						})
 					}

@@ -164,24 +164,24 @@ func (x *Executor) Analyzer() core.Analyzer { return x.an }
 // confined to sched-submit
 func (x *Executor) Submit(t *core.Task, k core.Kernel, body func(inputs []*data.Store)) *event.Event {
 	x.rec.Log(recorder.KindTaskLaunch, int64(t.ID), int64(len(t.Reqs)))
-	var opsBefore int64
-	if x.prov != nil {
-		opsBefore = x.an.Stats().Ops()
-	}
 	res := x.an.Analyze(t)
 	if len(res.Plans) != len(t.Reqs) {
 		panic(fmt.Sprintf("sched: analyzer %s returned %d plans for %d reqs", x.an.Name(), len(res.Plans), len(t.Reqs)))
 	}
 	if x.prov != nil {
-		// The launch's deterministic cost sample: the analyzer operations
-		// this Analyze charged, plus the points its requirements touch as
-		// a unit-cost virtual execution time. Both replay identically, so
-		// critical paths weighted by them are byte-reproducible.
+		// The launch's deterministic cost sample: its analysis volume
+		// (requirements analyzed plus dependence edges discovered), plus
+		// the points its requirements touch as a unit-cost virtual
+		// execution time. Both are properties of the task stream and its
+		// discovered graph — not of analyzer internals — so critical paths
+		// weighted by them are byte-reproducible across runs and across
+		// analyzer/sharding configurations. Measured operation counters
+		// stay in Stats() and the metrics registry.
 		var exec int64
 		for _, req := range t.Reqs {
 			exec += req.Region.Space.Volume()
 		}
-		x.prov.AddCost(t.ID, core.TaskCost{AnalysisOps: x.an.Stats().Ops() - opsBefore, ExecVirt: exec})
+		x.prov.AddCost(t.ID, core.TaskCost{AnalysisOps: int64(len(t.Reqs) + len(res.Deps)), ExecVirt: exec})
 		x.rec.Log(recorder.KindReasonCapture, int64(t.ID), int64(len(x.prov.Reasons(t.ID))))
 	}
 

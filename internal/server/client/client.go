@@ -62,6 +62,10 @@ type SessionConfig struct {
 	// server detects repeating launch patterns and replays them without
 	// re-analysis. Mutually exclusive with Tracing.
 	Autotrace bool `json:"autotrace,omitempty"`
+	// Shards, when positive, runs the session's analysis through the shard
+	// layer with this many parallel shards; results are byte-identical to
+	// the unsharded session. Composes with Tracing and Autotrace.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Session is a handle to one server-side session.
@@ -173,6 +177,9 @@ func (c *Client) Restore(checkpoint []byte, cfg SessionConfig) (*Session, error)
 	if cfg.Autotrace {
 		path += "&autotrace=true"
 	}
+	if cfg.Shards > 0 {
+		path += "&shards=" + strconv.Itoa(cfg.Shards)
+	}
 	var resp struct {
 		ID string `json:"id"`
 	}
@@ -188,6 +195,7 @@ type SessionInfo struct {
 	Algorithm string `json:"algorithm"`
 	Tracing   bool   `json:"tracing"`
 	Autotrace bool   `json:"autotrace"`
+	Shards    int    `json:"shards,omitempty"`
 	Queued    int    `json:"queued"`
 	Failed    string `json:"failed,omitempty"`
 }

@@ -170,6 +170,7 @@ type sessionConfigBody struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Tracing   bool   `json:"tracing,omitempty"`
 	Autotrace bool   `json:"autotrace,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
 }
 
 type sessionBody struct {
@@ -177,13 +178,14 @@ type sessionBody struct {
 	Algorithm string `json:"algorithm"`
 	Tracing   bool   `json:"tracing"`
 	Autotrace bool   `json:"autotrace"`
+	Shards    int    `json:"shards,omitempty"`
 	Queued    int    `json:"queued"`
 	Failed    string `json:"failed,omitempty"`
 }
 
 func (s *session) describe() sessionBody {
 	_, queued := s.idleSince()
-	body := sessionBody{ID: s.id, Algorithm: s.algorithm, Tracing: s.tracing, Autotrace: s.autotrace, Queued: queued}
+	body := sessionBody{ID: s.id, Algorithm: s.algorithm, Tracing: s.tracing, Autotrace: s.autotrace, Shards: s.shards, Queued: queued}
 	if err := s.latchedFailure(); err != nil {
 		body.Failed = err.Error()
 	}
@@ -198,7 +200,7 @@ func (srv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		srv.fail(w, fmt.Errorf("decoding session config: %v", err))
 		return
 	}
-	s, err := srv.createSession(cfg.Algorithm, cfg.Tracing, cfg.Autotrace, func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
+	s, err := srv.createSession(cfg.Algorithm, cfg.Tracing, cfg.Autotrace, cfg.Shards, func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
 		rt := visibility.New(c)
 		return rt, wire.NewEnv(rt), nil
 	})
@@ -211,7 +213,16 @@ func (srv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 
 func (srv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	s, err := srv.createSession(q.Get("algorithm"), q.Get("tracing") == "true", q.Get("autotrace") == "true",
+	shards := 0
+	if v := q.Get("shards"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			srv.fail(w, fmt.Errorf("bad shards %q: %v", v, err))
+			return
+		}
+		shards = n
+	}
+	s, err := srv.createSession(q.Get("algorithm"), q.Get("tracing") == "true", q.Get("autotrace") == "true", shards,
 		func(c visibility.Config) (*visibility.Runtime, *wire.Env, error) {
 			rt, roots, err := visibility.Restore(r.Body, c)
 			if err != nil {

@@ -206,7 +206,7 @@ var errTooManySessions = fmt.Errorf("session limit reached")
 // worker inherits the moment run starts.
 //
 //confined:callbacks session-worker
-func (srv *Server) createSession(algorithm string, tracing, autotrace bool, seed func(cfg visibility.Config) (*visibility.Runtime, *wire.Env, error)) (*session, error) {
+func (srv *Server) createSession(algorithm string, tracing, autotrace bool, shards int, seed func(cfg visibility.Config) (*visibility.Runtime, *wire.Env, error)) (*session, error) {
 	if algorithm == "" {
 		algorithm = "raycast"
 	}
@@ -216,6 +216,9 @@ func (srv *Server) createSession(algorithm string, tracing, autotrace bool, seed
 	if tracing && autotrace {
 		return nil, fmt.Errorf("tracing and autotrace are mutually exclusive")
 	}
+	if shards < 0 {
+		return nil, fmt.Errorf("invalid shard count %d", shards)
+	}
 	metrics := obs.NewRegistry()
 	// The session buffer shares the server clock so HTTP, queue-wait, and
 	// analysis spans land on one time axis in the merged export.
@@ -224,6 +227,7 @@ func (srv *Server) createSession(algorithm string, tracing, autotrace bool, seed
 		Algorithm: algorithm,
 		Tracing:   tracing,
 		AutoTrace: autotrace,
+		Shards:    shards,
 		Workers:   srv.cfg.Workers,
 		Metrics:   metrics,
 		Spans:     spans,
@@ -253,7 +257,7 @@ func (srv *Server) createSession(algorithm string, tracing, autotrace bool, seed
 	}
 	srv.nextID++
 	id := fmt.Sprintf("s%06d", srv.nextID)
-	s := srv.newSession(id, algorithm, tracing, autotrace, rt, env, metrics, spans)
+	s := srv.newSession(id, algorithm, tracing, autotrace, shards, rt, env, metrics, spans)
 	s.seq = int64(srv.nextID)
 	srv.sessions[id] = s
 	srv.active.Set(int64(len(srv.sessions)))

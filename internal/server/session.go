@@ -23,6 +23,7 @@ type session struct {
 	algorithm string
 	tracing   bool
 	autotrace bool
+	shards    int
 	created   time.Time
 	seq       int64 // numeric id journaled in flight-recorder events
 
@@ -74,13 +75,14 @@ var (
 // newSession builds a session around an existing runtime and environment
 // (created by the caller; ownership transfers to the worker goroutine the
 // moment run starts).
-func (srv *Server) newSession(id, algorithm string, tracing, autotrace bool, rt *visibility.Runtime, env *wire.Env, metrics *obs.Registry, spans *obs.Buffer) *session {
+func (srv *Server) newSession(id, algorithm string, tracing, autotrace bool, shards int, rt *visibility.Runtime, env *wire.Env, metrics *obs.Registry, spans *obs.Buffer) *session {
 	s := &session{
 		id:        id,
 		srv:       srv,
 		algorithm: algorithm,
 		tracing:   tracing,
 		autotrace: autotrace,
+		shards:    shards,
 		created:   time.Now(),
 		rt:        rt,
 		env:       env,

@@ -385,7 +385,7 @@ func (tr *Tracer) instantiate(t *core.Task, rec recordedResult) *core.Result {
 		for _, d := range res.Deps {
 			tr.opts.Prov.AddReason(core.EdgeReason{
 				Src: d, Dst: t.ID, Kind: core.ReasonReplay,
-				Analyzer: tr.an.Name(), Set: -1, Trace: tr.active.id,
+				Analyzer: core.BaseName(tr.an.Name()), Trace: tr.active.id,
 			})
 		}
 	}

@@ -302,6 +302,12 @@ func (w *Warnock) Analyze(t *core.Task) *core.Result {
 	// materialize: refine, then paint each constituent equivalence set.
 	insides := make([][]*bnode, len(t.Reqs))
 	for ri, req := range t.Reqs {
+		if req.Region.Space.IsEmpty() {
+			// No points: nothing can interfere and nothing materializes.
+			// Common under sharding, where a requirement's restriction to
+			// most atoms is empty, and for clipped boundary halos.
+			continue
+		}
 		fs := w.fieldFor(req.Field)
 		inside := w.refine(fs, req.Region.ID, req.Region.Space)
 		insides[ri] = inside
@@ -323,7 +329,7 @@ func (w *Warnock) Analyze(t *core.Task) *core.Result {
 					if w.opts.Prov != nil && e.Task != core.InitialTask {
 						w.opts.Prov.AddReason(core.EdgeReason{
 							Src: e.Task, Dst: t.ID, Kind: core.ReasonRegion, Analyzer: "warnock",
-							SrcReq: e.Req, DstReq: ri, Set: b.id, Field: req.Field,
+							SrcReq: e.Req, DstReq: ri, Field: req.Field,
 							SrcPriv: e.Priv, DstPriv: req.Priv, Overlap: s.pts.Bounds(), Trace: -1,
 						})
 					}

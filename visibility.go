@@ -55,6 +55,7 @@ import (
 	"visibility/internal/privilege"
 	"visibility/internal/region"
 	"visibility/internal/sched"
+	"visibility/internal/shard"
 	"visibility/internal/trace"
 )
 
@@ -142,6 +143,16 @@ type Config struct {
 	// run. Mutually exclusive with Tracing (the explicit brackets would
 	// fight the automatic ones).
 	AutoTrace bool
+	// Shards, when > 1, partitions each launch's dependence analysis
+	// across that many parallel shard goroutines (internal/shard): the
+	// root index space is cut into per-shard atoms, each analyzed by its
+	// own instance of the configured algorithm, and the per-atom results
+	// merge back into a byte-identical sequential edge stream. Shards: 1
+	// runs the shard layer with a single atom (its overhead baseline);
+	// 0 (the default) bypasses the layer entirely. Composes with Tracing
+	// and AutoTrace — the tracer wraps the sharded analyzer, so replays
+	// skip the fan-out altogether.
+	Shards int
 	// Metrics, when non-nil, is the registry every component of this
 	// runtime publishes into: analyzer operation counters appear under
 	// "analyzer/<root-region-name>/", scheduler cache counters under
@@ -233,6 +244,7 @@ type treeState struct {
 	seq    *core.Seq        // non-nil in Validate mode
 	tracer *trace.Tracer    // non-nil in Tracing mode
 	auto   *autotrace.Auto  // non-nil in AutoTrace mode
+	shard  *shard.Analyzer  // non-nil when Config.Shards > 0
 	prov   *core.Provenance // non-nil in Provenance mode
 	// labels caches precedence labels for MustPrecede; rebuilt when the
 	// stream has grown past labelsAt.
@@ -544,7 +556,7 @@ func (rt *Runtime) Launch(spec TaskSpec) Future {
 			// Captured before Submit, so an analyzer later re-finding the
 			// same producer through region data does not displace this.
 			ts.prov.AddReason(core.EdgeReason{
-				Src: f.taskID, Dst: t.ID, Kind: core.ReasonFuture, Set: -1, Trace: -1,
+				Src: f.taskID, Dst: t.ID, Kind: core.ReasonFuture, Trace: -1,
 			})
 		}
 	}
@@ -612,7 +624,13 @@ func (rt *Runtime) freeze(ts *treeState) {
 	}
 	opts := core.Options{Metrics: rt.cfg.Metrics, Spans: rt.cfg.Spans, Recorder: rt.cfg.Recorder, Faults: rt.cfg.Faults, Prov: ts.prov}
 	newAn, _ := algo.Lookup(rt.cfg.Algorithm)
-	an := newAn(ts.tree, opts)
+	var an core.Analyzer
+	if rt.cfg.Shards > 0 {
+		ts.shard = shard.New(ts.tree, opts, rt.cfg.Shards, shard.Factory(newAn))
+		an = ts.shard
+	} else {
+		an = newAn(ts.tree, opts)
+	}
 	if rt.cfg.Metrics != nil {
 		// Computed metrics are read live at snapshot time; per-tree
 		// prefixes keep multi-tree runtimes from colliding. A second root
@@ -751,6 +769,10 @@ func (rt *Runtime) Close() {
 		if r.tree.exec != nil {
 			r.tree.exec.Shutdown()
 			r.tree.exec = nil
+		}
+		if r.tree.shard != nil {
+			r.tree.shard.Close()
+			r.tree.shard = nil
 		}
 	}
 }
